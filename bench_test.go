@@ -1,0 +1,200 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each Benchmark* produces the corresponding artefact once
+// per iteration; results are printed on the first iteration so that
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the full experiment report (EXPERIMENTS.md records the
+// comparison against the paper). The BENCH_SCALE environment variable
+// (default 8) divides the standard dataset scale; set BENCH_SCALE=1
+// for the full-size datasets (minutes instead of seconds).
+package graphbench
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+var (
+	harnessOnce sync.Once
+	harness     *bench.Harness
+)
+
+func benchHarness() *bench.Harness {
+	harnessOnce.Do(func() {
+		scale := 8
+		if s := os.Getenv("BENCH_SCALE"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+				scale = v
+			}
+		}
+		harness = bench.New(bench.Config{Seed: 42, Scale: scale})
+	})
+	return harness
+}
+
+var printed sync.Map
+
+func report(b *testing.B, key string, render func() string) {
+	b.Helper()
+	if _, seen := printed.LoadOrStore(key, true); !seen {
+		fmt.Println(render())
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Table2()
+		report(b, "t2", t.String)
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Table5()
+		report(b, "t5", t.String)
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Table6()
+		report(b, "t6", t.String)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure1()
+		report(b, "f1", t.String)
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		eps, vps := h.Figure2()
+		report(b, "f2", func() string { return eps.String() + vps.String() })
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure3()
+		report(b, "f3", t.String)
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure4()
+		report(b, "f4", t.String)
+	}
+}
+
+func BenchmarkFigures5to7(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figures5to7()
+		report(b, "f57", t.String)
+	}
+}
+
+func BenchmarkFigures8to10(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figures8to10()
+		report(b, "f810", t.String)
+	}
+}
+
+func BenchmarkFigure11Friendster(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure11("Friendster")
+		report(b, "f11f", t.String)
+	}
+}
+
+func BenchmarkFigure11DotaLeague(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure11("DotaLeague")
+		report(b, "f11d", t.String)
+	}
+}
+
+func BenchmarkFigure12Friendster(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure12("Friendster")
+		report(b, "f12f", t.String)
+	}
+}
+
+func BenchmarkFigure12DotaLeague(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure12("DotaLeague")
+		report(b, "f12d", t.String)
+	}
+}
+
+func BenchmarkFigure13Friendster(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure13("Friendster")
+		report(b, "f13f", t.String)
+	}
+}
+
+func BenchmarkFigure13DotaLeague(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure13("DotaLeague")
+		report(b, "f13d", t.String)
+	}
+}
+
+func BenchmarkFigure14Friendster(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure14("Friendster")
+		report(b, "f14f", t.String)
+	}
+}
+
+func BenchmarkFigure14DotaLeague(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure14("DotaLeague")
+		report(b, "f14d", t.String)
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure15()
+		report(b, "f15", t.String)
+	}
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		t := h.Figure16()
+		report(b, "f16", t.String)
+	}
+}

@@ -1,0 +1,249 @@
+// Command graphbench runs the paper's experiments and prints the
+// corresponding tables and figures.
+//
+// Usage:
+//
+//	graphbench [flags] table <2|3|4|5|6|7|8>
+//	graphbench [flags] figure <1|2|3|4|5-7|8-10|11|12|13|14|15|16> [dataset]
+//	graphbench [flags] run <platform> <algorithm> <dataset>
+//	graphbench [flags] curves <platform>
+//	graphbench [flags] all
+//
+// Flags:
+//
+//	-scale N   extra down-scaling of every dataset (default 1; try 40
+//	           for a quick pass)
+//	-seed N    generation seed (default 42)
+//	-nodes N   cluster size for `run` (default 20)
+//	-cores N   cores per node for `run` (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/boundary"
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/monitor"
+	"repro/internal/platform"
+	"repro/internal/process"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "extra dataset down-scaling factor")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	seed := flag.Int64("seed", 42, "generation seed")
+	nodes := flag.Int("nodes", 20, "cluster size for `run`")
+	cores := flag.Int("cores", 1, "cores per node for `run`")
+	flag.Parse()
+
+	h := bench.New(bench.Config{Seed: *seed, Scale: *scale})
+	emitCSV = *csv
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	switch args[0] {
+	case "table":
+		need(args, 2)
+		printTable(h, args[1])
+	case "figure":
+		need(args, 2)
+		ds := "DotaLeague"
+		if len(args) > 2 {
+			ds = args[2]
+		}
+		printFigure(h, args[1], ds)
+	case "run":
+		need(args, 4)
+		r := h.Run(args[1], args[2], args[3], cluster.DAS4(*nodes, *cores))
+		fmt.Printf("platform=%s algorithm=%s dataset=%s status=%s\n",
+			r.Platform, r.Algorithm, r.Dataset, r.Status)
+		if r.Status == platform.OK {
+			fmt.Printf("T=%.1fs Tc=%.1fs To=%.1fs iterations=%d EPS=%.0f VPS=%.0f\n",
+				r.Seconds, r.ComputeSeconds, r.OverheadSeconds, r.Iterations, r.EPS(), r.VPS())
+		} else if r.Err != nil {
+			fmt.Printf("reason: %v\n", r.Err)
+		}
+	case "curves":
+		need(args, 2)
+		tr := h.Curves(args[1])
+		fmt.Println("point,master_cpu,master_mem_gb,master_net_mbps,compute_cpu,compute_mem_gb,compute_net_mbps")
+		for i := 0; i < monitor.Points; i++ {
+			fmt.Printf("%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", i,
+				tr.Master.CPU[i], tr.Master.MemGB[i], tr.Master.NetMbps[i],
+				tr.Compute.CPU[i], tr.Compute.MemGB[i], tr.Compute.NetMbps[i])
+		}
+	case "findings":
+		emit(h.FindingsTable())
+	case "explore":
+		need(args, 2)
+		p, err := platform.ByName(args[1])
+		if err != nil {
+			fatal("%v", err)
+		}
+		r := process.NewRunner(p)
+		r.Scale, r.Seed = *scale, *seed
+		out, err := r.ExploratoryTest(cluster.DAS4(*nodes, *cores))
+		if err != nil {
+			fatal("%v", err)
+		}
+		t := bench.Table{
+			Title:  fmt.Sprintf("Exploratory test: %s on %d machines", p.Name(), *nodes),
+			Header: []string{"Dataset", "Algorithm", "Status", "Reason"},
+		}
+		for _, e := range out {
+			t.Rows = append(t.Rows, []string{e.Dataset, e.Algorithm, e.Status.String(), e.Reason})
+		}
+		emit(t)
+	case "loadtest":
+		need(args, 4)
+		p, err := platform.ByName(args[1])
+		if err != nil {
+			fatal("%v", err)
+		}
+		r := process.NewRunner(p)
+		r.Scale, r.Seed = *scale, *seed
+		res, err := r.LoadTest(args[2], args[3], cluster.DAS4(*nodes, *cores))
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(res.Summary())
+	case "predict":
+		need(args, 4)
+		prof, err := datagen.ByName(args[3])
+		if err != nil {
+			fatal("%v", err)
+		}
+		g := h.Graph(args[3])
+		in := boundary.MeasureInputs(g, prof, *scale)
+		est, err := boundary.PredictFor(args[1], args[2], prof, in, cluster.DAS4(*nodes, *cores))
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("worst-case T = %.1f s (%.2f h), iterations <= %d, msg bytes/iter <= %d\n",
+			est.Seconds, est.Seconds/3600, est.Iterations, est.MsgBytes)
+		switch {
+		case est.Crash:
+			fmt.Println("prediction: infeasible (out of memory)")
+		case est.Timeout:
+			fmt.Println("prediction: exceeds the run-time budget")
+		default:
+			fmt.Println("prediction: feasible")
+		}
+	case "all":
+		for _, t := range []string{"2", "3", "4", "5", "6", "7", "8"} {
+			printTable(h, t)
+			fmt.Println()
+		}
+		for _, f := range []string{"1", "2", "3", "4", "5-7", "8-10", "15", "16"} {
+			printFigure(h, f, "DotaLeague")
+			fmt.Println()
+		}
+		for _, ds := range []string{"Friendster", "DotaLeague"} {
+			for _, f := range []string{"11", "12", "13", "14"} {
+				printFigure(h, f, ds)
+				fmt.Println()
+			}
+		}
+	default:
+		usage()
+	}
+}
+
+var emitCSV bool
+
+func emit(t bench.Table) {
+	if emitCSV {
+		fmt.Print(bench.CSV(t))
+		return
+	}
+	fmt.Print(t)
+}
+
+func printTable(h *bench.Harness, n string) {
+	switch n {
+	case "2":
+		emit(h.Table2())
+	case "3":
+		emit(h.Table3())
+	case "4":
+		emit(h.Table4())
+	case "5":
+		emit(h.Table5())
+	case "6":
+		emit(h.Table6())
+	case "7":
+		emit(h.Table7())
+	case "8":
+		emit(h.Table8())
+	default:
+		fatal("unknown table %q (2-8)", n)
+	}
+}
+
+func printFigure(h *bench.Harness, n, dataset string) {
+	switch n {
+	case "1":
+		emit(h.Figure1())
+	case "2":
+		eps, vps := h.Figure2()
+		emit(eps)
+		emit(vps)
+	case "3":
+		emit(h.Figure3())
+	case "4":
+		emit(h.Figure4())
+	case "5-7", "5", "6", "7":
+		emit(h.Figures5to7())
+	case "8-10", "8", "9", "10":
+		emit(h.Figures8to10())
+	case "11":
+		emit(h.Figure11(dataset))
+	case "12":
+		emit(h.Figure12(dataset))
+	case "13":
+		emit(h.Figure13(dataset))
+	case "14":
+		emit(h.Figure14(dataset))
+	case "15":
+		emit(h.Figure15())
+	case "16":
+		emit(h.Figure16())
+	default:
+		fatal("unknown figure %q (1-16)", n)
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  graphbench [flags] table <2-8>
+  graphbench [flags] figure <1-16> [dataset]
+  graphbench [flags] run <platform> <algorithm> <dataset>
+  graphbench [flags] curves <platform>
+  graphbench [flags] findings
+  graphbench [flags] explore <platform>
+  graphbench [flags] loadtest <platform> <algorithm> <dataset>
+  graphbench [flags] predict <platform> <algorithm> <dataset>
+  graphbench [flags] all
+
+platforms:  Hadoop YARN Stratosphere Giraph GraphLab GraphLab(mp) Neo4j
+algorithms: STATS BFS CONN CD EVO
+datasets:   Amazon WikiTalk KGS Citation DotaLeague Synth Friendster`)
+	os.Exit(2)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

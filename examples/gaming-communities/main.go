@@ -1,0 +1,78 @@
+// Gaming communities: the paper motivates community detection with the
+// gaming industry ("the market has an increasingly larger share of
+// social games"). This example runs CD over the two gaming graphs —
+// KGS (Go players) and DotaLeague (Defense of the Ancients players) —
+// on the two graph-specific platforms, and reports the communities
+// found plus the cost of finding them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	graphbench "repro"
+	"repro/internal/algo"
+)
+
+func main() {
+	scale := flag.Int("scale", 25, "extra dataset down-scaling (1 = full benchmark scale)")
+	flag.Parse()
+
+	cfg := graphbench.DefaultConfig()
+	cfg.ScaleFactor = *scale
+	suite := graphbench.NewSuite(cfg)
+
+	for _, dataset := range []string{"KGS", "DotaLeague"} {
+		g, err := suite.Graph(dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s: %d players, %d play relationships ===\n",
+			dataset, g.NumVertices(), g.NumEdges())
+
+		for _, platform := range []string{"Giraph", "GraphLab"} {
+			res, err := suite.Run(platform, graphbench.CD, dataset)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Status != graphbench.OK {
+				fmt.Printf("%-10s %s\n", platform, res.Status)
+				continue
+			}
+			cd := res.Output.(algo.CDResult)
+			fmt.Printf("%-10s T=%7.1fs  iterations=%d  communities=%d\n",
+				platform, res.Seconds, res.Iterations, cd.Communities)
+
+			// Top communities by size.
+			sizes := map[graphbench.VertexID]int{}
+			for _, l := range cd.Labels {
+				sizes[l]++
+			}
+			type comm struct {
+				label graphbench.VertexID
+				size  int
+			}
+			var comms []comm
+			for l, s := range sizes {
+				comms = append(comms, comm{l, s})
+			}
+			sort.Slice(comms, func(i, j int) bool {
+				if comms[i].size != comms[j].size {
+					return comms[i].size > comms[j].size
+				}
+				return comms[i].label < comms[j].label
+			})
+			fmt.Printf("%-10s largest communities:", "")
+			for i := 0; i < 5 && i < len(comms); i++ {
+				fmt.Printf(" %d players", comms[i].size)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("Both platforms find identical communities (the implementations")
+	fmt.Println("are validated against the same synchronous Leung et al. rule);")
+	fmt.Println("what differs is the cost of the five label-propagation rounds.")
+}

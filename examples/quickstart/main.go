@@ -1,0 +1,45 @@
+// Quickstart: run one algorithm on one dataset across all six
+// platforms and compare their job execution times — the core question
+// of the paper ("How well do graph-processing platforms perform?").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	graphbench "repro"
+)
+
+func main() {
+	scale := flag.Int("scale", 25, "extra dataset down-scaling (1 = full benchmark scale)")
+	dataset := flag.String("dataset", "KGS", "dataset to run")
+	algorithm := flag.String("algorithm", "BFS", "algorithm to run")
+	flag.Parse()
+
+	cfg := graphbench.DefaultConfig()
+	cfg.ScaleFactor = *scale
+	suite := graphbench.NewSuite(cfg)
+
+	g, err := suite.Graph(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d vertices, %d edges (scaled 1/%d)\n\n",
+		*dataset, g.NumVertices(), g.NumEdges(), *scale)
+
+	fmt.Printf("%-14s %-8s %12s %12s %12s\n", "platform", "status", "T", "Tc", "EPS")
+	for _, p := range graphbench.Platforms() {
+		res, err := suite.Run(p.Name(), *algorithm, *dataset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Status != graphbench.OK {
+			fmt.Printf("%-14s %-8s %12s\n", p.Name(), res.Status, "-")
+			continue
+		}
+		fmt.Printf("%-14s %-8s %11.1fs %11.1fs %12.0f\n",
+			p.Name(), res.Status, res.Seconds, res.ComputeSeconds, res.EPS())
+	}
+	fmt.Println("\nTimes are projected to the paper-scale dataset; see DESIGN.md.")
+}

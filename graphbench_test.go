@@ -1,0 +1,148 @@
+package graphbench
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+)
+
+// testSuite returns a suite at a small scale for fast tests.
+func testSuite() *Suite {
+	cfg := DefaultConfig()
+	cfg.ScaleFactor = 50
+	return NewSuite(cfg)
+}
+
+func TestRegistry(t *testing.T) {
+	if got := len(Platforms()); got != 6 {
+		t.Fatalf("Platforms = %d, want 6 (Table 4)", got)
+	}
+	if got := len(Datasets()); got != 7 {
+		t.Fatalf("Datasets = %d, want 7 (Table 2)", got)
+	}
+	if got := len(Algorithms()); got != 5 {
+		t.Fatalf("Algorithms = %d, want 5 (Section 2.2.2)", got)
+	}
+	if _, err := PlatformByName("GraphLab(mp)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlatformByName("Spark"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestSuiteGraphCaching(t *testing.T) {
+	s := testSuite()
+	a, err := s.Graph("Amazon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Graph("Amazon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Graph should cache")
+	}
+	if _, err := s.Graph("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestSuiteRunBasic(t *testing.T) {
+	s := testSuite()
+	res, err := s.Run("Giraph", BFS, "KGS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != OK {
+		t.Fatalf("status = %v (%v)", res.Status, res.Err)
+	}
+	if res.Seconds <= 0 || res.EPS() <= 0 || res.VPS() <= 0 {
+		t.Fatalf("metrics: T=%v EPS=%v VPS=%v", res.Seconds, res.EPS(), res.VPS())
+	}
+	if res.ComputeSeconds+res.OverheadSeconds != res.Seconds {
+		t.Fatalf("Tc+To != T")
+	}
+	bfs, ok := res.Output.(algo.BFSResult)
+	if !ok {
+		t.Fatalf("Output type %T", res.Output)
+	}
+	if bfs.Visited == 0 {
+		t.Fatal("BFS visited nothing")
+	}
+}
+
+func TestSuiteRunAllAlgorithmsOnePlatform(t *testing.T) {
+	s := testSuite()
+	for _, alg := range Algorithms() {
+		res, err := s.Run("GraphLab", alg, "Amazon")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != OK {
+			t.Fatalf("%s: status %v (%v)", alg, res.Status, res.Err)
+		}
+	}
+}
+
+func TestSuiteRunUnknowns(t *testing.T) {
+	s := testSuite()
+	if _, err := s.Run("Giraph", "PageRank", "KGS"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := s.Run("Spark", BFS, "KGS"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	if _, err := s.Run("Giraph", BFS, "Twitter"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestCrossPlatformResultEquality(t *testing.T) {
+	// The headline correctness property: every platform computes the
+	// same answer. Compare CONN components across all six platforms.
+	s := testSuite()
+	var components int
+	for i, p := range []string{"Hadoop", "YARN", "Stratosphere", "Giraph", "GraphLab", "Neo4j"} {
+		res, err := s.Run(p, CONN, "Citation")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != OK {
+			t.Fatalf("%s: %v (%v)", p, res.Status, res.Err)
+		}
+		conn := res.Output.(algo.ConnResult)
+		if i == 0 {
+			components = conn.Components
+			continue
+		}
+		if conn.Components != components {
+			t.Fatalf("%s found %d components, first platform found %d",
+				p, conn.Components, components)
+		}
+	}
+}
+
+func TestRunOnScalesCluster(t *testing.T) {
+	s := testSuite()
+	small, err := s.RunOn("Hadoop", BFS, "Friendster", DAS4(20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := s.RunOn("Hadoop", BFS, "Friendster", DAS4(50, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Status == OK && big.Status == OK && big.Seconds >= small.Seconds {
+		t.Fatalf("50 nodes (%.0fs) not faster than 20 (%.0fs)", big.Seconds, small.Seconds)
+	}
+}
+
+func TestNewSuiteDefaults(t *testing.T) {
+	s := NewSuite(Config{})
+	cfg := s.Config()
+	if cfg.Nodes != 20 || cfg.CoresPerNode != 1 || cfg.ScaleFactor != 1 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

@@ -1,0 +1,274 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Reference sequential implementations. Every platform implementation
+// is validated against these.
+
+// RefStats computes STATS directly.
+func RefStats(g *graph.Graph) StatsResult {
+	return StatsResult{
+		Vertices: int64(g.NumVertices()),
+		Edges:    g.NumEdges(),
+		AvgLCC:   g.AvgLCC(),
+	}
+}
+
+// RefBFS runs the reference breadth-first search.
+func RefBFS(g *graph.Graph, src graph.VertexID) BFSResult {
+	r := g.BFSFrom(src)
+	return BFSResult{Levels: r.Level, Visited: r.Visited, Iterations: r.Iterations}
+}
+
+// RefConn computes weakly connected components; labels are component
+// minima, matching the label-propagation fixed point. Iterations
+// reports the rounds synchronous label propagation would need, since
+// that is what the platforms execute and what the paper reports (e.g.
+// 20 iterations on Citation, 6 on DotaLeague).
+func RefConn(g *graph.Graph) ConnResult {
+	labels := g.ConnectedComponents()
+
+	// Measure synchronous propagation rounds: labels move one hop per
+	// round; rounds = max over vertices of distance to its component's
+	// minimum vertex, via multi-source BFS from all minima at once.
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var frontier []graph.VertexID
+	for v := 0; v < n; v++ {
+		if labels[v] == graph.VertexID(v) {
+			dist[v] = 0
+			frontier = append(frontier, graph.VertexID(v))
+		}
+	}
+	rounds := 0
+	for len(frontier) > 0 {
+		var next []graph.VertexID
+		for _, u := range frontier {
+			for _, v := range neighborsBoth(g, u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					next = append(next, v)
+				}
+			}
+		}
+		if len(next) > 0 {
+			rounds++
+		}
+		frontier = next
+	}
+	return ConnResult{
+		Labels:     labels,
+		Components: CountLabels(labels),
+		// One extra round to detect quiescence, as the platforms do.
+		Iterations: rounds + 1,
+	}
+}
+
+// neighborsBoth returns out+in neighbours for directed graphs (weak
+// connectivity), plain adjacency for undirected.
+func neighborsBoth(g *graph.Graph, v graph.VertexID) []graph.VertexID {
+	if !g.Directed() {
+		return g.Out(v)
+	}
+	out := g.Out(v)
+	in := g.In(v)
+	all := make([]graph.VertexID, 0, len(out)+len(in))
+	all = append(all, out...)
+	all = append(all, in...)
+	return all
+}
+
+// RefCD runs synchronous community detection (Leung et al.) for up to
+// p.CDMaxIterations rounds.
+func RefCD(g *graph.Graph, p Params) CDResult {
+	n := g.NumVertices()
+	labels := make([]graph.VertexID, n)
+	scores := make([]float64, n)
+	for v := range labels {
+		labels[v] = graph.VertexID(v)
+		scores[v] = p.CDInitialScore
+	}
+	iters := 0
+	for iter := 0; iter < p.CDMaxIterations; iter++ {
+		newLabels := make([]graph.VertexID, n)
+		newScores := make([]float64, n)
+		changed := false
+		for v := 0; v < n; v++ {
+			votes := make([]LabelScore, 0, 8)
+			for _, u := range neighborsBoth(g, graph.VertexID(v)) {
+				votes = append(votes, LabelScore{labels[u], scores[u]})
+			}
+			l, s, ok := ChooseLabel(votes, p.CDHopAttenuation)
+			if !ok {
+				newLabels[v], newScores[v] = labels[v], scores[v]
+				continue
+			}
+			newLabels[v], newScores[v] = l, s
+			if l != labels[v] {
+				changed = true
+			}
+		}
+		labels, scores = newLabels, newScores
+		iters++
+		if !changed {
+			break
+		}
+	}
+	return CDResult{Labels: labels, Communities: CountLabels(labels), Iterations: iters}
+}
+
+// RefEVO runs the Forest Fire evolution over p.EVOIterations batches.
+func RefEVO(g *graph.Graph, p Params) EVOResult {
+	ov := NewOverlay(g)
+	for _, batch := range BatchSizes(g.NumVertices(), p) {
+		for i := 0; i < batch; i++ {
+			newID := ov.AddVertex()
+			edges := ForestFireBurn(newID, int(newID), p, ov.Neighbors)
+			ov.AddEdges(edges)
+		}
+	}
+	return ov.Result()
+}
+
+// Overlay extends a base graph with evolution edges without rebuilding
+// the CSR; it supplies the NeighborFn for Forest Fire burns and tracks
+// the growth for EVOResult.
+type Overlay struct {
+	base     *graph.Graph
+	nextID   graph.VertexID
+	extraOut map[graph.VertexID][]graph.VertexID
+	extraIn  map[graph.VertexID][]graph.VertexID
+	added    []graph.Edge
+}
+
+// NewOverlay wraps a base graph.
+func NewOverlay(g *graph.Graph) *Overlay {
+	return &Overlay{
+		base:     g,
+		nextID:   graph.VertexID(g.NumVertices()),
+		extraOut: make(map[graph.VertexID][]graph.VertexID),
+		extraIn:  make(map[graph.VertexID][]graph.VertexID),
+	}
+}
+
+// AddVertex allocates the next vertex ID.
+func (o *Overlay) AddVertex() graph.VertexID {
+	id := o.nextID
+	o.nextID++
+	return id
+}
+
+// NumVertices returns the evolved vertex count.
+func (o *Overlay) NumVertices() int { return int(o.nextID) }
+
+// AddEdges records burn edges.
+func (o *Overlay) AddEdges(edges []graph.Edge) {
+	for _, e := range edges {
+		o.extraOut[e.Src] = append(o.extraOut[e.Src], e.Dst)
+		o.extraIn[e.Dst] = append(o.extraIn[e.Dst], e.Src)
+		o.added = append(o.added, e)
+	}
+}
+
+// Neighbors is the NeighborFn view over base + overlay.
+func (o *Overlay) Neighbors(v graph.VertexID) (out, in []graph.VertexID) {
+	if int(v) < o.base.NumVertices() {
+		out = o.base.Out(v)
+		in = o.base.In(v)
+	}
+	if extra, ok := o.extraOut[v]; ok {
+		out = append(append([]graph.VertexID{}, out...), extra...)
+	}
+	if extra, ok := o.extraIn[v]; ok {
+		in = append(append([]graph.VertexID{}, in...), extra...)
+	}
+	return out, in
+}
+
+// Added returns the accumulated new edges.
+func (o *Overlay) Added() []graph.Edge { return o.added }
+
+// Result summarises the evolution.
+func (o *Overlay) Result() EVOResult {
+	edges := append([]graph.Edge(nil), o.added...)
+	SortEdges(edges)
+	return EVOResult{
+		NewVertices: int(o.nextID) - o.base.NumVertices(),
+		NewEdges:    len(edges),
+		FinalV:      int(o.nextID),
+		FinalE:      o.base.NumEdges() + int64(len(edges)),
+		Edges:       edges,
+	}
+}
+
+// ValidateBFS checks a BFS result against the Graph500-style
+// soundness rules (the paper's BFS is the Graph500 kernel): the source
+// has level 0; every reached vertex except the source has a reachable
+// in-neighbour exactly one level above it; every edge spans at most
+// one level; and unreached vertices have no reached in-neighbour.
+// It returns nil when the result is a valid BFS of g from src.
+func ValidateBFS(g *graph.Graph, src graph.VertexID, r *BFSResult) error {
+	if len(r.Levels) != g.NumVertices() {
+		return fmt.Errorf("levels length %d != V %d", len(r.Levels), g.NumVertices())
+	}
+	if r.Levels[src] != 0 {
+		return fmt.Errorf("source level = %d, want 0", r.Levels[src])
+	}
+	visited := 0
+	maxLevel := int32(0)
+	for v, lv := range r.Levels {
+		if lv < 0 {
+			continue
+		}
+		visited++
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+		if lv == 0 && graph.VertexID(v) != src {
+			return fmt.Errorf("vertex %d has level 0 but is not the source", v)
+		}
+		if lv > 0 {
+			ok := false
+			for _, u := range g.In(graph.VertexID(v)) {
+				if r.Levels[u] == lv-1 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("vertex %d at level %d has no in-neighbour at level %d", v, lv, lv-1)
+			}
+		}
+	}
+	// Edge relaxation: no out-edge jumps more than one level down.
+	var bad error
+	g.Edges(func(e graph.Edge) {
+		if bad != nil {
+			return
+		}
+		lu, lv := r.Levels[e.Src], r.Levels[e.Dst]
+		if lu >= 0 && (lv < 0 || lv > lu+1) {
+			bad = fmt.Errorf("edge (%d,%d) spans levels %d -> %d", e.Src, e.Dst, lu, lv)
+		}
+		if !g.Directed() && lv >= 0 && (lu < 0 || lu > lv+1) {
+			bad = fmt.Errorf("edge (%d,%d) spans levels %d -> %d", e.Src, e.Dst, lv, lu)
+		}
+	})
+	if bad != nil {
+		return bad
+	}
+	if visited != r.Visited {
+		return fmt.Errorf("Visited = %d, levels say %d", r.Visited, visited)
+	}
+	if int(maxLevel) != r.Iterations {
+		return fmt.Errorf("Iterations = %d, levels say %d", r.Iterations, maxLevel)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package algo
+
+import "repro/internal/graph"
+
+// Record and message types shared by the record-oriented platforms
+// (MapReduce, PACT). Size methods report serialised byte footprints in
+// the paper's plain-text-like framing; they drive every shuffle, disk,
+// and memory account.
+
+// VertexRec is the full per-vertex state record materialised between
+// iterations: adjacency (incoming list only for directed graphs, as in
+// the paper's text format) plus the algorithm state.
+type VertexRec struct {
+	Out []graph.VertexID
+	In  []graph.VertexID // nil for undirected graphs
+
+	Dist  int32          // BFS level, -1 when unreached
+	Label graph.VertexID // CONN / CD label
+	Score float64        // CD score
+}
+
+// Size implements the engine Value interfaces.
+func (r *VertexRec) Size() int64 {
+	return int64(len(r.Out))*5 + int64(len(r.In))*5 + 16
+}
+
+// Clone returns a copy with fresh state fields but shared adjacency
+// slices (adjacency is immutable throughout every algorithm).
+func (r *VertexRec) Clone() *VertexRec {
+	c := *r
+	return &c
+}
+
+// Both returns the union view of out- and in-neighbours (out only for
+// undirected records, where In is nil).
+func (r *VertexRec) Both() []graph.VertexID {
+	if len(r.In) == 0 {
+		return r.Out
+	}
+	all := make([]graph.VertexID, 0, len(r.Out)+len(r.In))
+	all = append(all, r.Out...)
+	all = append(all, r.In...)
+	return all
+}
+
+// DistMsg is a BFS distance candidate.
+type DistMsg int32
+
+// Size implements the engine Value interfaces.
+func (DistMsg) Size() int64 { return 5 }
+
+// LabelMsg is a CONN label or CD vote.
+type LabelMsg struct {
+	Label graph.VertexID
+	Score float64
+}
+
+// Size implements the engine Value interfaces.
+func (LabelMsg) Size() int64 { return 14 }
+
+// ListMsg carries a neighbour list (STATS neighbourhood exchange —
+// the message-volume bomb).
+type ListMsg []graph.VertexID
+
+// Size implements the engine Value interfaces.
+func (l ListMsg) Size() int64 { return int64(len(l))*5 + 4 }
+
+// CountMsg carries partial sums for STATS aggregation.
+type CountMsg struct {
+	Vertices int64
+	Edges    int64
+	LCCSum   float64
+}
+
+// Size implements the engine Value interfaces.
+func (CountMsg) Size() int64 { return 24 }
+
+// EdgeMsg carries one evolution edge.
+type EdgeMsg graph.Edge
+
+// Size implements the engine Value interfaces.
+func (EdgeMsg) Size() int64 { return 10 }
+
+// LCCLinks counts, for a vertex with (sorted) neighbourhood nbrs, the
+// arcs contributed by one neighbour's out-list — the per-message step
+// of the distributed STATS.
+func LCCLinks(nbrs []graph.VertexID, senderOut []graph.VertexID) int64 {
+	var links int64
+	i, j := 0, 0
+	for i < len(nbrs) && j < len(senderOut) {
+		switch {
+		case nbrs[i] < senderOut[j]:
+			i++
+		case nbrs[i] > senderOut[j]:
+			j++
+		default:
+			links++
+			i++
+			j++
+		}
+	}
+	return links
+}
+
+// LCCOf finishes a vertex's LCC from its link count and neighbourhood
+// size, matching graph.LCC's directed/undirected conventions.
+func LCCOf(links int64, k int) float64 {
+	if k < 2 {
+		return 0
+	}
+	return float64(links) / (float64(k) * float64(k-1))
+}
+
+// NeighborhoodOf returns the sorted distinct union of out- and
+// in-neighbours from a record (the STATS neighbourhood).
+func NeighborhoodOf(r *VertexRec) []graph.VertexID {
+	if len(r.In) == 0 {
+		return r.Out
+	}
+	merged := make([]graph.VertexID, 0, len(r.Out)+len(r.In))
+	i, j := 0, 0
+	for i < len(r.Out) || j < len(r.In) {
+		switch {
+		case j >= len(r.In) || (i < len(r.Out) && r.Out[i] < r.In[j]):
+			merged = append(merged, r.Out[i])
+			i++
+		case i >= len(r.Out) || r.In[j] < r.Out[i]:
+			merged = append(merged, r.In[j])
+			j++
+		default:
+			merged = append(merged, r.Out[i])
+			i++
+			j++
+		}
+	}
+	return merged
+}

@@ -1,0 +1,218 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (Tables 2-8, Figures 1-16) from
+// live runs of the platform engines, rendering them as aligned text
+// tables. Each generator documents the paper content it reproduces;
+// EXPERIMENTS.md records the side-by-side comparison.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/algo"
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/platform"
+)
+
+// Config configures the harness.
+type Config struct {
+	// Seed drives generation and randomised algorithm choices.
+	Seed int64
+	// Scale additionally divides the default dataset scale (1 = the
+	// standard scale, bigger = smaller/faster).
+	Scale int
+}
+
+// DefaultConfig is the standard full-scale configuration.
+func DefaultConfig() Config { return Config{Seed: 42, Scale: 1} }
+
+// Harness runs experiments with caching: any table/figure that needs a
+// run already performed reuses it.
+type Harness struct {
+	cfg Config
+
+	mu      sync.Mutex
+	graphs  map[string]*graph.Graph
+	results map[string]*platform.Result
+}
+
+// New returns a harness.
+func New(cfg Config) *Harness {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	return &Harness{
+		cfg:     cfg,
+		graphs:  make(map[string]*graph.Graph),
+		results: make(map[string]*platform.Result),
+	}
+}
+
+// BaseHW is the paper's basic-performance cluster: 20 nodes, one
+// computing core each (Section 4.1).
+func BaseHW() cluster.Hardware { return cluster.DAS4(20, 1) }
+
+// Graph returns the cached generated dataset.
+func (h *Harness) Graph(dataset string) *graph.Graph {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if g, ok := h.graphs[dataset]; ok {
+		return g
+	}
+	prof, err := datagen.ByName(dataset)
+	if err != nil {
+		panic(err)
+	}
+	g := prof.GenerateScaled(h.cfg.Scale, h.cfg.Seed)
+	h.graphs[dataset] = g
+	return g
+}
+
+// Run executes (or reuses) one experiment.
+func (h *Harness) Run(platformName, alg, dataset string, hw cluster.Hardware) *platform.Result {
+	key := fmt.Sprintf("%s|%s|%s|%dx%d", platformName, alg, dataset, hw.Nodes, hw.CoresPerNode)
+	h.mu.Lock()
+	if r, ok := h.results[key]; ok {
+		h.mu.Unlock()
+		return r
+	}
+	h.mu.Unlock()
+
+	p, err := platform.ByName(platformName)
+	if err != nil {
+		panic(err)
+	}
+	prof, err := datagen.ByName(dataset)
+	if err != nil {
+		panic(err)
+	}
+	g := h.Graph(dataset)
+	params := algo.DefaultParams(h.cfg.Seed)
+	params.BFSSource = algo.PickSource(g, h.cfg.Seed)
+	r := p.Run(platform.Spec{
+		Algorithm: alg, Dataset: prof, G: g, HW: hw,
+		Params: params, WarmCache: true, ScaleFactor: h.cfg.Scale,
+	})
+	h.mu.Lock()
+	h.results[key] = r
+	h.mu.Unlock()
+	return r
+}
+
+// ---- rendering -------------------------------------------------------
+
+// Table is a rendered result: a title, a header, rows, and notes.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, hdr := range t.Header {
+		widths[i] = len(hdr)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// fmtSeconds prints a duration in the figure style: seconds below an
+// hour, hours above.
+func fmtSeconds(s float64) string {
+	switch {
+	case s >= 2*3600:
+		return fmt.Sprintf("%.1f h", s/3600)
+	case s >= 100:
+		return fmt.Sprintf("%.0f s", s)
+	default:
+		return fmt.Sprintf("%.1f s", s)
+	}
+}
+
+// cell renders a result cell: the projected execution time, or the
+// failure class exactly as the paper reports it.
+func cell(r *platform.Result) string {
+	switch r.Status {
+	case platform.OK:
+		return fmtSeconds(r.Seconds)
+	case platform.Timeout:
+		return fmt.Sprintf(">%s (t/o)", fmtSeconds(r.Seconds))
+	case platform.NotSupported:
+		return "n/a"
+	default:
+		return "crash"
+	}
+}
+
+func fmtFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1e6:
+		return fmt.Sprintf("%.2fM", x/1e6)
+	case x >= 1e3:
+		return fmt.Sprintf("%.1fk", x/1e3)
+	case x >= 10:
+		return fmt.Sprintf("%.0f", x)
+	default:
+		return fmt.Sprintf("%.2f", x)
+	}
+}
+
+// PlatformNames lists the six platforms in Table 4 order.
+func PlatformNames() []string {
+	return []string{"Hadoop", "YARN", "Stratosphere", "Giraph", "GraphLab", "Neo4j"}
+}
+
+// sortedKeys returns map keys sorted (for deterministic notes).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+var _ = metrics.EPS // referenced by the figure files
+var _ = monitor.Points

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV renders a table as CSV (for gnuplot/spreadsheet replotting
+// of the figures).
+func WriteCSV(w io.Writer, t Table) error {
+	if _, err := fmt.Fprintln(w, csvLine(t.Header)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, csvLine(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvLine(cells []string) string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		out[i] = c
+	}
+	return strings.Join(out, ",")
+}
+
+// CSV returns the CSV rendering as a string.
+func CSV(t Table) string {
+	var b strings.Builder
+	_ = WriteCSV(&b, t)
+	return b.String()
+}

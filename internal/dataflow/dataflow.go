@@ -1,0 +1,532 @@
+// Package dataflow is a parallel data-flow engine modelled on
+// Stratosphere 0.2 (Section 3.1 of the paper): PACT second-order
+// operators (Map, Reduce, Match, Cross, CoGroup) compiled into a
+// Nephele-style DAG of tasks connected by channels. The plan compiler
+// uses code annotations (the PACT "output contracts") to avoid
+// repartitioning: an operator that declares it preserves keys lets the
+// next key-based operator consume its output over an in-memory channel
+// instead of shuffling over the network — the optimisation the paper
+// credits for Stratosphere's order-of-magnitude advantage over Hadoop.
+package dataflow
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+// Value is a record payload; Size reports serialised bytes.
+type Value interface {
+	Size() int64
+}
+
+// Record is one keyed record flowing through the plan.
+type Record struct {
+	Key   int64
+	Value Value
+}
+
+func recBytes(r Record) int64 { return 10 + r.Value.Size() }
+
+// Dataset is a materialised record collection.
+type Dataset []Record
+
+// Bytes returns the dataset's serialised size.
+func (d Dataset) Bytes() int64 {
+	var n int64
+	for _, r := range d {
+		n += recBytes(r)
+	}
+	return n
+}
+
+// Collector receives operator output.
+type Collector struct {
+	out      []Record
+	bytes    int64
+	extraOps int64
+}
+
+// Charge adds explicit computation work beyond the per-record
+// baseline (quadratic user functions such as STATS intersections).
+func (c *Collector) Charge(ops int64) { c.extraOps += ops }
+
+// Collect appends an output record.
+func (c *Collector) Collect(key int64, v Value) {
+	c.out = append(c.out, Record{key, v})
+	c.bytes += 10 + v.Size()
+}
+
+// User function types (the PACT first-order functions).
+type (
+	// MapFunc processes one record.
+	MapFunc func(in Record, out *Collector)
+	// ReduceFunc processes all records of one key.
+	ReduceFunc func(key int64, in []Record, out *Collector)
+	// MatchFunc processes each pair of left/right records sharing a key
+	// (an equi-join).
+	MatchFunc func(key int64, left, right Record, out *Collector)
+	// CoGroupFunc processes the full left and right groups of one key.
+	CoGroupFunc func(key int64, left, right []Record, out *Collector)
+	// CrossFunc processes each pair from the two inputs.
+	CrossFunc func(left, right Record, out *Collector)
+)
+
+// Annotation is a PACT output contract: a promise about an operator's
+// output that the compiler exploits.
+type Annotation int
+
+const (
+	// None: no promise; key-based consumers must repartition.
+	None Annotation = iota
+	// SameKey: output records keep their input record's key, so an
+	// existing key-partitioning survives the operator.
+	SameKey
+)
+
+type opKind int
+
+const (
+	opSource opKind = iota
+	opMap
+	opReduce
+	opMatch
+	opCoGroup
+	opCross
+	opSink
+)
+
+var opNames = [...]string{"source", "map", "reduce", "match", "cogroup", "cross", "sink"}
+
+// Node is one operator in a plan.
+type Node struct {
+	id         int
+	kind       opKind
+	name       string
+	annotation Annotation
+	inputs     []*Node
+
+	mapFn     MapFunc
+	reduceFn  ReduceFunc
+	matchFn   MatchFunc
+	coGroupFn CoGroupFunc
+	crossFn   CrossFunc
+
+	source     Dataset
+	sourceSize int64
+	writes     bool // sink only: materialise to the DFS
+}
+
+// Plan is a DAG of operators.
+type Plan struct {
+	name  string
+	nodes []*Node
+	sinks []*Node
+}
+
+// NewPlan creates an empty plan.
+func NewPlan(name string) *Plan { return &Plan{name: name} }
+
+func (p *Plan) add(n *Node) *Node {
+	n.id = len(p.nodes)
+	p.nodes = append(p.nodes, n)
+	return n
+}
+
+// Source adds an input dataset; diskBytes is its on-DFS size (0 for
+// in-memory intermediates carried between iterations).
+func (p *Plan) Source(name string, d Dataset, diskBytes int64) *Node {
+	return p.add(&Node{kind: opSource, name: name, source: d, sourceSize: diskBytes})
+}
+
+// Map adds a Map contract.
+func (p *Plan) Map(name string, in *Node, fn MapFunc, ann Annotation) *Node {
+	return p.add(&Node{kind: opMap, name: name, inputs: []*Node{in}, mapFn: fn, annotation: ann})
+}
+
+// Reduce adds a Reduce contract (grouping by key).
+func (p *Plan) Reduce(name string, in *Node, fn ReduceFunc, ann Annotation) *Node {
+	return p.add(&Node{kind: opReduce, name: name, inputs: []*Node{in}, reduceFn: fn, annotation: ann})
+}
+
+// Match adds a Match contract (equi-join of two inputs).
+func (p *Plan) Match(name string, left, right *Node, fn MatchFunc, ann Annotation) *Node {
+	return p.add(&Node{kind: opMatch, name: name, inputs: []*Node{left, right}, matchFn: fn, annotation: ann})
+}
+
+// CoGroup adds a CoGroup contract.
+func (p *Plan) CoGroup(name string, left, right *Node, fn CoGroupFunc, ann Annotation) *Node {
+	return p.add(&Node{kind: opCoGroup, name: name, inputs: []*Node{left, right}, coGroupFn: fn, annotation: ann})
+}
+
+// Cross adds a Cross contract (cartesian product).
+func (p *Plan) Cross(name string, left, right *Node, fn CrossFunc) *Node {
+	return p.add(&Node{kind: opCross, name: name, inputs: []*Node{left, right}, crossFn: fn})
+}
+
+// Sink marks a node's output as a plan result. writeToDFS controls
+// whether the result is materialised to the DFS (final outputs) or
+// kept in memory (iteration state).
+func (p *Plan) Sink(in *Node, writeToDFS bool) *Node {
+	n := p.add(&Node{kind: opSink, name: "sink:" + in.name, inputs: []*Node{in}, writes: writeToDFS})
+	p.sinks = append(p.sinks, n)
+	return n
+}
+
+// Engine executes plans.
+type Engine struct {
+	HW      cluster.Hardware
+	Profile *cluster.ExecutionProfile
+	// ChannelForced, when non-nil, overrides the optimiser's channel
+	// choice (used by the ablation benchmarks).
+	ChannelForced *ChannelType
+}
+
+// ChannelType is how data moves between two operators.
+type ChannelType int
+
+const (
+	// ChannelInMemory: co-partitioned, same task slot — no movement.
+	ChannelInMemory ChannelType = iota
+	// ChannelNetwork: repartition over the network.
+	ChannelNetwork
+	// ChannelFile: materialise via disk (Hadoop-style).
+	ChannelFile
+)
+
+// New returns an engine.
+func New(hw cluster.Hardware) *Engine {
+	return &Engine{HW: hw, Profile: &cluster.ExecutionProfile{}}
+}
+
+// result of a node during execution.
+type interim struct {
+	parts   []Dataset // partitioned by key hash when keyed
+	keyed   bool      // true if partitioned by key
+	records int64
+	bytes   int64
+}
+
+// Execute runs the plan as one Nephele job and returns the datasets of
+// each sink, in Sink() order.
+func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
+	if len(p.sinks) == 0 {
+		return nil, fmt.Errorf("dataflow: plan %q has no sinks", p.name)
+	}
+	par := e.HW.Workers()
+	if par < 1 {
+		par = 1
+	}
+
+	e.Profile.AddPhase(cluster.Phase{
+		Name: p.name + ":deploy", Kind: cluster.PhaseSetup,
+		Jobs: 1, Tasks: len(p.nodes) * par / max(1, len(p.nodes)),
+	})
+
+	results := make([]*interim, len(p.nodes))
+	var outputs []Dataset
+
+	for _, n := range p.nodes {
+		switch n.kind {
+		case opSource:
+			parts := partition(n.source, par)
+			results[n.id] = &interim{parts: parts, keyed: true,
+				records: int64(len(n.source)), bytes: n.source.Bytes()}
+			if n.sourceSize > 0 {
+				e.Profile.AddPhase(cluster.Phase{
+					Name: n.name + ":read", Kind: cluster.PhaseRead,
+					DiskRead: n.sourceSize,
+				})
+			}
+
+		case opMap:
+			in := e.channel(n, results[n.inputs[0].id], false)
+			out := &interim{parts: make([]Dataset, par), keyed: n.annotation == SameKey && in.keyed}
+			var ops, maxOps int64
+			var mu sync.Mutex
+			parallelParts(par, func(i int) {
+				var c Collector
+				var local int64
+				for _, r := range in.parts[i] {
+					local += 1 + recBytes(r)/64
+					n.mapFn(r, &c)
+				}
+				local += c.extraOps
+				mu.Lock()
+				out.parts[i] = c.out
+				out.records += int64(len(c.out))
+				out.bytes += c.bytes
+				ops += local
+				if local > maxOps {
+					maxOps = local
+				}
+				mu.Unlock()
+			})
+			results[n.id] = out
+			e.addCompute(n, ops, maxOps)
+
+		case opReduce:
+			in := e.channel(n, results[n.inputs[0].id], true)
+			out := &interim{parts: make([]Dataset, par), keyed: n.annotation == SameKey}
+			var ops, maxOps int64
+			var mu sync.Mutex
+			parallelParts(par, func(i int) {
+				var c Collector
+				local := groupApply(in.parts[i], func(key int64, group []Record) {
+					n.reduceFn(key, group, &c)
+				})
+				local += c.extraOps
+				mu.Lock()
+				out.parts[i] = c.out
+				out.records += int64(len(c.out))
+				out.bytes += c.bytes
+				ops += local
+				if local > maxOps {
+					maxOps = local
+				}
+				mu.Unlock()
+			})
+			results[n.id] = out
+			e.addCompute(n, ops, maxOps)
+
+		case opMatch, opCoGroup:
+			left := e.channel(n, results[n.inputs[0].id], true)
+			right := e.channel(n, results[n.inputs[1].id], true)
+			out := &interim{parts: make([]Dataset, par), keyed: n.annotation == SameKey}
+			var ops, maxOps int64
+			var mu sync.Mutex
+			parallelParts(par, func(i int) {
+				var c Collector
+				local := joinParts(n, in2(left, i), in2(right, i), &c)
+				local += c.extraOps
+				mu.Lock()
+				out.parts[i] = c.out
+				out.records += int64(len(c.out))
+				out.bytes += c.bytes
+				ops += local
+				if local > maxOps {
+					maxOps = local
+				}
+				mu.Unlock()
+			})
+			results[n.id] = out
+			e.addCompute(n, ops, maxOps)
+
+		case opCross:
+			left := results[n.inputs[0].id]
+			right := results[n.inputs[1].id]
+			// Cross broadcasts the (smaller) right input to every
+			// partition of the left.
+			rightAll := flatten(right.parts)
+			e.Profile.AddPhase(cluster.Phase{
+				Name: n.name + ":broadcast", Kind: cluster.PhaseShuffle,
+				Net: right.bytes * int64(e.HW.Nodes-1),
+			})
+			out := &interim{parts: make([]Dataset, par)}
+			var ops, maxOps int64
+			var mu sync.Mutex
+			parallelParts(par, func(i int) {
+				var c Collector
+				var local int64
+				for _, l := range left.parts[i] {
+					for _, r := range rightAll {
+						local++
+						n.crossFn(l, r, &c)
+					}
+				}
+				mu.Lock()
+				out.parts[i] = c.out
+				out.records += int64(len(c.out))
+				out.bytes += c.bytes
+				ops += local
+				if local > maxOps {
+					maxOps = local
+				}
+				mu.Unlock()
+			})
+			results[n.id] = out
+			e.addCompute(n, ops, maxOps)
+
+		case opSink:
+			in := results[n.inputs[0].id]
+			flat := flatten(in.parts)
+			if n.writes {
+				e.Profile.AddPhase(cluster.Phase{
+					Name: n.name + ":write", Kind: cluster.PhaseWrite,
+					DiskWrite: in.bytes,
+				})
+			}
+			outputs = append(outputs, flat)
+			results[n.id] = in
+		}
+	}
+	return outputs, nil
+}
+
+func in2(in *interim, i int) Dataset {
+	if i < len(in.parts) {
+		return in.parts[i]
+	}
+	return nil
+}
+
+// channel materialises an input for an operator, repartitioning when
+// the operator needs key grouping and the producer did not preserve a
+// key partitioning. Repartitioning is a network shuffle; preserved
+// partitionings ride an in-memory channel for free — the optimiser.
+func (e *Engine) channel(n *Node, in *interim, needKeyed bool) *interim {
+	ct := ChannelInMemory
+	if needKeyed && !in.keyed {
+		ct = ChannelNetwork
+	}
+	if e.ChannelForced != nil && ct == ChannelNetwork {
+		ct = *e.ChannelForced
+	}
+	switch ct {
+	case ChannelInMemory:
+		return in
+	case ChannelFile:
+		e.Profile.AddPhase(cluster.Phase{
+			Name: n.name + ":file-channel", Kind: cluster.PhaseShuffle,
+			DiskWrite: in.bytes, DiskRead: in.bytes,
+		})
+	default:
+		remote := in.bytes
+		if e.HW.Nodes > 1 {
+			remote = in.bytes * int64(e.HW.Nodes-1) / int64(e.HW.Nodes)
+		}
+		e.Profile.AddPhase(cluster.Phase{
+			Name: n.name + ":shuffle", Kind: cluster.PhaseShuffle,
+			Net: remote,
+		})
+	}
+	par := len(in.parts)
+	flat := flatten(in.parts)
+	return &interim{parts: partition(flat, par), keyed: true,
+		records: in.records, bytes: in.bytes}
+}
+
+func (e *Engine) addCompute(n *Node, ops, maxOps int64) {
+	e.Profile.AddPhase(cluster.Phase{
+		Name: n.name + ":" + opNames[n.kind], Kind: cluster.PhaseCompute,
+		Ops: ops, MaxPartOps: maxOps,
+	})
+}
+
+// joinParts hash-joins two key-partitioned datasets within a
+// partition.
+func joinParts(n *Node, left, right Dataset, c *Collector) int64 {
+	rightByKey := make(map[int64][]Record)
+	for _, r := range right {
+		rightByKey[r.Key] = append(rightByKey[r.Key], r)
+	}
+	var ops int64
+	if n.kind == opMatch {
+		for _, l := range left {
+			for _, r := range rightByKey[l.Key] {
+				ops++
+				n.matchFn(l.Key, l, r, c)
+			}
+		}
+		return ops + int64(len(left)) + int64(len(right))
+	}
+	// CoGroup: group the left side, pair with the right group.
+	leftByKey := make(map[int64][]Record)
+	var keys []int64
+	for _, l := range left {
+		if _, ok := leftByKey[l.Key]; !ok {
+			keys = append(keys, l.Key)
+		}
+		leftByKey[l.Key] = append(leftByKey[l.Key], l)
+	}
+	for k := range rightByKey {
+		if _, ok := leftByKey[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		ops += int64(len(leftByKey[k]) + len(rightByKey[k]) + 1)
+		n.coGroupFn(k, leftByKey[k], rightByKey[k], c)
+	}
+	return ops
+}
+
+// groupApply sorts a partition by key and applies fn per group,
+// returning the op count.
+func groupApply(part Dataset, fn func(key int64, group []Record)) int64 {
+	if len(part) == 0 {
+		return 0
+	}
+	sorted := append(Dataset(nil), part...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var ops int64
+	for i := 0; i < len(sorted); {
+		j := i
+		var groupBytes int64
+		for j < len(sorted) && sorted[j].Key == sorted[i].Key {
+			groupBytes += recBytes(sorted[j])
+			j++
+		}
+		ops += 1 + groupBytes/64 + int64(j-i)
+		fn(sorted[i].Key, sorted[i:j])
+		i = j
+	}
+	return ops
+}
+
+func partition(d Dataset, par int) []Dataset {
+	parts := make([]Dataset, par)
+	for _, r := range d {
+		p := int(uint64(r.Key) % uint64(par))
+		parts[p] = append(parts[p], r)
+	}
+	return parts
+}
+
+func flatten(parts []Dataset) Dataset {
+	var out Dataset
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func parallelParts(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

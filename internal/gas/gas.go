@@ -1,0 +1,402 @@
+// Package gas is a Gather-Apply-Scatter engine modelled on distributed
+// GraphLab 2.1 (Section 3.1 of the paper), run in the synchronous mode
+// the paper uses. Distinctive GraphLab behaviours reproduced here:
+//
+//   - directed-only graph store: undirected inputs have every edge
+//     represented in both directions, which doubles the edge count and
+//     halves EPS on graphs like KGS (Section 4.1.1);
+//   - vertex-cut partitioning with mirror replicas, whose measured
+//     replication factor drives per-iteration synchronisation traffic;
+//   - a single-file loading phase that throttles reading to one node —
+//     the horizontal-scalability bottleneck the paper found — with the
+//     multi-part "GraphLab(mp)" loader as the fix (Section 4.3.1);
+//   - dynamic computation: only signalled vertices run each iteration.
+package gas
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// Value is a vertex state value.
+type Value interface {
+	Size() int64
+}
+
+// Accum is a gather accumulator.
+type Accum interface {
+	Size() int64
+}
+
+// Program is a GAS vertex program. Methods must be safe for concurrent
+// invocation on different vertices.
+type Program interface {
+	// Gather is called for every in-edge (src -> v) of an active vertex
+	// v, and returns the edge's contribution (nil contributes nothing).
+	Gather(src, v graph.VertexID, srcVal, vVal Value) Accum
+	// Sum merges two gather contributions.
+	Sum(a, b Accum) Accum
+	// Apply computes v's new value from the merged accumulator (which
+	// is nil if no edge contributed).
+	Apply(v graph.VertexID, old Value, acc Accum) Value
+	// Scatter is called for every out-edge (v -> dst) of v after Apply,
+	// and reports whether dst should be signalled (activated) for the
+	// next iteration.
+	Scatter(v, dst graph.VertexID, newVal Value, dstVal Value) bool
+}
+
+// Config configures a run.
+type Config struct {
+	Program       Program
+	MaxIterations int
+	InitialValue  func(v graph.VertexID) Value
+	// InitiallyActive selects the starting active set (nil = all).
+	InitiallyActive func(v graph.VertexID) bool
+	// MultiPartLoading enables the GraphLab(mp) input loader: the input
+	// is pre-split into one piece per machine, parallelising the load
+	// across nodes (but not across cores — each machine has a single
+	// loader, which is why vertical scaling does not speed loading up).
+	MultiPartLoading bool
+	// InputBytes is the on-disk size of the input file(s) for the
+	// loading phase.
+	InputBytes int64
+	// GatherBoth gathers over in- and out-edges of directed graphs
+	// (GraphLab's ALL_EDGES gather, used for weak connectivity); it is
+	// a no-op for undirected graphs, whose adjacency is already
+	// symmetric.
+	GatherBoth bool
+	// ScatterBoth scatters over both directions of directed graphs.
+	ScatterBoth bool
+	// AfterIteration, when non-nil, runs at each iteration's global
+	// barrier with the fresh values (GraphLab's termination
+	// aggregation); returning true stops the engine.
+	AfterIteration func(iter int, values []Value) (stop bool)
+}
+
+// Stats summarises measured behaviour.
+type Stats struct {
+	Iterations        int
+	GatherEdges       int64
+	ApplyCalls        int64
+	ScatterEdges      int64
+	NetBytes          int64
+	ReplicationFactor float64
+	PeakMemPerNode    int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Values []Value
+	Stats  Stats
+}
+
+// Run executes cfg over g on the simulated hardware, appending phases
+// to profile (which may be nil).
+func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.ExecutionProfile) (*Result, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("gas: Config.Program is required")
+	}
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	values := make([]Value, n)
+	if cfg.InitialValue != nil {
+		for v := 0; v < n; v++ {
+			values[v] = cfg.InitialValue(graph.VertexID(v))
+		}
+	}
+	active := make([]bool, n)
+	for v := range active {
+		active[v] = cfg.InitiallyActive == nil || cfg.InitiallyActive(graph.VertexID(v))
+	}
+
+	// ---- Vertex-cut partitioning (for replication accounting) ------
+	// Edges are hashed to machines; a vertex is replicated on every
+	// machine that holds one of its edges. GraphLab synchronises each
+	// mirror with its master every iteration the vertex participates.
+	replicas := measureReplication(g, hw.Nodes)
+	var replicaSum int64
+	for _, r := range replicas {
+		replicaSum += int64(r)
+	}
+	replFactor := 1.0
+	if n > 0 {
+		replFactor = float64(replicaSum) / float64(n)
+	}
+
+	// ---- Loading phase ----------------------------------------------
+	if profile != nil {
+		profile.AddPhase(cluster.Phase{
+			Name: "gas:setup", Kind: cluster.PhaseSetup, Jobs: 1, Tasks: hw.Nodes,
+		})
+		loaders := 1
+		if cfg.MultiPartLoading {
+			loaders = hw.Nodes
+		}
+		parseOps := int64(n) + g.AdjSize()
+		profile.AddPhase(cluster.Phase{
+			Name: "gas:load", Kind: cluster.PhaseRead,
+			DiskRead: cfg.InputBytes, IONodes: loaders,
+			Ops: parseOps, MaxPartOps: parseOps / int64(loaders),
+			// Loaded edges are shipped to their vertex-cut owners.
+			Net: cfg.InputBytes,
+		})
+	}
+
+	st := Stats{ReplicationFactor: replFactor}
+	iter := 0
+	valSize := func(v Value) int64 {
+		if v == nil {
+			return 0
+		}
+		return v.Size()
+	}
+
+	for {
+		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
+			break
+		}
+		anyActive := false
+		for _, a := range active {
+			if a {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			break
+		}
+
+		nextActive := make([]bool, n)
+		newValues := make([]Value, n)
+		copy(newValues, values)
+
+		var mu sync.Mutex
+		var gatherEdges, scatterEdges, applyCalls, netBytes int64
+		partOps := make([]int64, hw.Nodes)
+
+		parallelVertices(n, func(lo, hi int) {
+			var lg, ls, la, lnet, lops int64
+			localPartOps := make([]int64, hw.Nodes)
+			var signalled []graph.VertexID
+			for vi := lo; vi < hi; vi++ {
+				if !active[vi] {
+					continue
+				}
+				v := graph.VertexID(vi)
+				// Gather over in-edges (plus out-edges under GatherBoth
+				// on directed graphs).
+				var acc Accum
+				gatherFrom := g.In(v)
+				if cfg.GatherBoth && g.Directed() {
+					gatherFrom = bothNeighbors(g, v)
+				}
+				for _, u := range gatherFrom {
+					a := cfg.Program.Gather(u, v, values[u], values[v])
+					lg++
+					lops++
+					if a == nil {
+						continue
+					}
+					if acc == nil {
+						acc = a
+					} else {
+						acc = cfg.Program.Sum(acc, a)
+					}
+				}
+				// Apply.
+				nv := cfg.Program.Apply(v, values[v], acc)
+				newValues[v] = nv
+				la++
+				lops++
+				// Mirror synchronisation: the master ships the new
+				// value to every mirror (gather results came the other
+				// way — count both directions).
+				r := int64(replicas[v]) - 1
+				if r > 0 {
+					sz := valSize(nv) + 8
+					if acc != nil {
+						sz += acc.Size()
+					}
+					lnet += r * sz
+				}
+				// Scatter over out-edges (plus in-edges under
+				// ScatterBoth on directed graphs).
+				scatterTo := g.Out(v)
+				if cfg.ScatterBoth && g.Directed() {
+					scatterTo = bothNeighbors(g, v)
+				}
+				for _, dst := range scatterTo {
+					ls++
+					lops++
+					if cfg.Program.Scatter(v, dst, nv, values[dst]) {
+						signalled = append(signalled, dst)
+					}
+				}
+				localPartOps[int(v)%hw.Nodes] += lops
+				lops = 0
+			}
+			mu.Lock()
+			gatherEdges += lg
+			scatterEdges += ls
+			applyCalls += la
+			netBytes += lnet
+			for i, o := range localPartOps {
+				partOps[i] += o
+			}
+			for _, dst := range signalled {
+				nextActive[dst] = true
+			}
+			mu.Unlock()
+		})
+
+		var totalOps, maxOps int64
+		for _, o := range partOps {
+			totalOps += o
+			if o > maxOps {
+				maxOps = o
+			}
+		}
+
+		st.GatherEdges += gatherEdges
+		st.ScatterEdges += scatterEdges
+		st.ApplyCalls += applyCalls
+		st.NetBytes += netBytes
+
+		if profile != nil {
+			profile.AddPhase(cluster.Phase{
+				Name: fmt.Sprintf("gas:iter-%d", iter), Kind: cluster.PhaseCompute,
+				Ops: totalOps, MaxPartOps: perWorkerMax(maxOps, totalOps, hw),
+				Net: netBytes, Barriers: 1,
+			})
+		}
+
+		values = newValues
+		active = nextActive
+		iter++
+		if cfg.AfterIteration != nil && cfg.AfterIteration(iter-1, values) {
+			break
+		}
+	}
+
+	// Memory: edges are stored once (partitioned by the vertex-cut);
+	// only vertex data is replicated on mirror machines, with a fixed
+	// per-replica overhead for the vertex record and its
+	// synchronisation buffers.
+	const perReplicaOverhead = 64
+	var valBytes int64
+	for _, v := range values {
+		valBytes += valSize(v)
+	}
+	replicaBytes := int64(float64(valBytes+int64(n)*perReplicaOverhead) * replFactor)
+	st.PeakMemPerNode = (g.MemoryFootprint() + replicaBytes) / int64(hw.Nodes)
+	st.Iterations = iter
+
+	if profile != nil {
+		profile.AddPhase(cluster.Phase{
+			Name: "gas:finalize", Kind: cluster.PhaseWrite,
+			DiskWrite: valBytes, Net: valBytes,
+		})
+		profile.Iterations = iter
+		if st.PeakMemPerNode > profile.PeakMemPerNode {
+			profile.PeakMemPerNode = st.PeakMemPerNode
+		}
+	}
+	return &Result{Values: values, Stats: st}, nil
+}
+
+// bothNeighbors returns out+in adjacency of a directed vertex.
+func bothNeighbors(g *graph.Graph, v graph.VertexID) []graph.VertexID {
+	out, in := g.Out(v), g.In(v)
+	all := make([]graph.VertexID, 0, len(out)+len(in))
+	all = append(all, out...)
+	all = append(all, in...)
+	return all
+}
+
+// measureReplication assigns each edge to a machine by hash (random
+// vertex-cut) and returns per-vertex replica counts (>= 1).
+func measureReplication(g *graph.Graph, nodes int) []int {
+	n := g.NumVertices()
+	seen := make([]uint64, n) // bitset over machines, nodes <= 64 in all experiments
+	if nodes > 64 {
+		nodes = 64
+	}
+	for u := graph.VertexID(0); u < graph.VertexID(n); u++ {
+		for _, v := range g.Out(u) {
+			m := edgeMachine(u, v, nodes)
+			seen[u] |= 1 << m
+			seen[v] |= 1 << m
+		}
+	}
+	replicas := make([]int, n)
+	for i, bits := range seen {
+		c := popcount(bits)
+		if c == 0 {
+			c = 1
+		}
+		replicas[i] = c
+	}
+	return replicas
+}
+
+func edgeMachine(u, v graph.VertexID, nodes int) int {
+	h := uint64(u)*0x9e3779b97f4a7c15 ^ uint64(v)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	return int(h % uint64(nodes))
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// perWorkerMax converts a per-machine ops max into a per-worker bound
+// when machines have several cores.
+func perWorkerMax(maxNode, total int64, hw cluster.Hardware) int64 {
+	if maxNode == 0 {
+		return 0
+	}
+	scaled := maxNode / int64(hw.CoresPerNode)
+	mean := total / int64(hw.Workers())
+	if scaled < mean {
+		return mean
+	}
+	return scaled
+}
+
+// parallelVertices splits [0, n) into contiguous chunks processed on
+// up to GOMAXPROCS goroutines.
+func parallelVertices(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,158 @@
+package gasalgo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+func hw() cluster.Hardware { return cluster.DAS4(5, 1) }
+
+func testGraphs(t *testing.T) []*graph.Graph {
+	t.Helper()
+	var out []*graph.Graph
+	for _, name := range []string{"Amazon", "KGS", "Citation"} {
+		p, err := datagen.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p.GenerateScaled(60, 5))
+	}
+	return out
+}
+
+func TestStatsMatchesReference(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		want := algo.RefStats(g)
+		got, _, err := Stats(g, hw(), 1000, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Vertices != want.Vertices || got.Edges != want.Edges {
+			t.Fatalf("%v: stats = %+v, want %+v", g, got, want)
+		}
+		if math.Abs(got.AvgLCC-want.AvgLCC) > 1e-9 {
+			t.Fatalf("%v: AvgLCC = %v, want %v", g, got.AvgLCC, want.AvgLCC)
+		}
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		src := algo.PickSource(g, 42)
+		want := algo.RefBFS(g, src)
+		got, _, err := BFS(g, hw(), src, 1000, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Levels, want.Levels) {
+			t.Fatalf("%v: BFS levels differ", g)
+		}
+		if got.Iterations != want.Iterations || got.Visited != want.Visited {
+			t.Fatalf("%v: got %d/%d want %d/%d", g, got.Iterations, got.Visited, want.Iterations, want.Visited)
+		}
+	}
+}
+
+func TestConnMatchesReference(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		want := algo.RefConn(g)
+		got, _, err := Conn(g, hw(), 1000, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Labels, want.Labels) {
+			t.Fatalf("%v: CONN labels differ", g)
+		}
+		if got.Iterations != want.Iterations {
+			t.Fatalf("%v: iterations = %d, want %d", g, got.Iterations, want.Iterations)
+		}
+	}
+}
+
+func TestCDMatchesReference(t *testing.T) {
+	p := algo.DefaultParams(42)
+	for _, g := range testGraphs(t) {
+		want := algo.RefCD(g, p)
+		got, _, err := CD(g, hw(), p, 1000, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Labels, want.Labels) {
+			t.Fatalf("%v: CD labels differ", g)
+		}
+		if got.Iterations != want.Iterations {
+			t.Fatalf("%v: iterations = %d, want %d", g, got.Iterations, want.Iterations)
+		}
+	}
+}
+
+func TestEVOMatchesReference(t *testing.T) {
+	p := algo.DefaultParams(42)
+	for _, g := range testGraphs(t) {
+		want := algo.RefEVO(g, p)
+		got, err := EVO(g, hw(), p, 1000, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NewVertices != want.NewVertices || !reflect.DeepEqual(got.Edges, want.Edges) {
+			t.Fatalf("%v: EVO differs from reference", g)
+		}
+	}
+}
+
+func TestUndirectedGatherWorkDoubled(t *testing.T) {
+	// The paper's KGS effect: GraphLab's directed store doubles the
+	// per-iteration edge work on undirected graphs.
+	p, _ := datagen.ByName("KGS")
+	g := p.GenerateScaled(100, 5)
+	profile := &cluster.ExecutionProfile{}
+	_, st, err := Stats(g, hw(), 1000, false, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GatherEdges != 2*g.NumEdges() {
+		t.Fatalf("GatherEdges = %d, want 2E = %d", st.GatherEdges, 2*g.NumEdges())
+	}
+}
+
+func TestEVOProfileShape(t *testing.T) {
+	g := testGraphs(t)[0]
+	p := algo.DefaultParams(7)
+	profile := &cluster.ExecutionProfile{}
+	if _, err := EVO(g, hw(), p, 5000, false, profile); err != nil {
+		t.Fatal(err)
+	}
+	compute := 0
+	for _, ph := range profile.Phases {
+		if ph.Kind == cluster.PhaseCompute {
+			compute++
+		}
+	}
+	if compute != p.EVOIterations {
+		t.Fatalf("compute phases = %d, want %d", compute, p.EVOIterations)
+	}
+	if profile.Iterations != p.EVOIterations {
+		t.Fatalf("Iterations = %d", profile.Iterations)
+	}
+}
+
+func TestMultiPartLoadingFaster(t *testing.T) {
+	g := testGraphs(t)[1]
+	run := func(mp bool) float64 {
+		profile := &cluster.ExecutionProfile{}
+		src := algo.PickSource(g, 42)
+		if _, _, err := BFS(g, hw(), src, 500<<20, mp, profile); err != nil {
+			t.Fatal(err)
+		}
+		return cluster.GraphLabCosts().Time(profile, hw()).Read
+	}
+	if single, mp := run(false), run(true); mp >= single {
+		t.Fatalf("mp load %.2f should beat single %.2f", mp, single)
+	}
+}

@@ -1,0 +1,251 @@
+package graph
+
+import "sort"
+
+// LCC returns the local clustering coefficient of v: the number of
+// edges among v's neighbours divided by the number of possible such
+// edges. Directed graphs use the union of in- and out-neighbours as
+// the neighbourhood and count directed arcs among them, following the
+// STATS algorithm in the paper (Algorithm 1).
+func (g *Graph) LCC(v VertexID) float64 {
+	nbrs := g.neighbourhood(v)
+	k := len(nbrs)
+	if k < 2 {
+		return 0
+	}
+	links := 0
+	for _, u := range nbrs {
+		links += countIntersect(g.Out(u), nbrs)
+	}
+	if g.directed {
+		// Directed: k(k-1) ordered pairs possible; each arc counted once.
+		return float64(links) / float64(k*(k-1))
+	}
+	// Undirected: each edge counted twice by the loop above.
+	return float64(links) / float64(k*(k-1))
+}
+
+// AvgLCC returns the average local clustering coefficient over all
+// vertices, as computed by STATS.
+func (g *Graph) AvgLCC() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v := VertexID(0); v < VertexID(g.n); v++ {
+		sum += g.LCC(v)
+	}
+	return sum / float64(g.n)
+}
+
+// neighbourhood returns the sorted distinct neighbours of v (union of
+// in and out for directed graphs), excluding v itself.
+func (g *Graph) neighbourhood(v VertexID) []VertexID {
+	if !g.directed {
+		return g.Out(v)
+	}
+	out, in := g.Out(v), g.In(v)
+	merged := make([]VertexID, 0, len(out)+len(in))
+	i, j := 0, 0
+	for i < len(out) || j < len(in) {
+		switch {
+		case j >= len(in) || (i < len(out) && out[i] < in[j]):
+			merged = append(merged, out[i])
+			i++
+		case i >= len(out) || in[j] < out[i]:
+			merged = append(merged, in[j])
+			j++
+		default: // equal
+			merged = append(merged, out[i])
+			i++
+			j++
+		}
+	}
+	return merged
+}
+
+// countIntersect returns |a ∩ b| for two sorted slices.
+func countIntersect(a, b []VertexID) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Triangles returns the total number of triangles in an undirected
+// graph. Panics on directed graphs.
+func (g *Graph) Triangles() int64 {
+	if g.directed {
+		panic("graph: Triangles requires an undirected graph")
+	}
+	var total int64
+	for u := VertexID(0); u < VertexID(g.n); u++ {
+		nbrs := g.Out(u)
+		for _, v := range nbrs {
+			if v <= u {
+				continue
+			}
+			// Count common neighbours w with w > v to count each
+			// triangle exactly once.
+			vn := g.Out(v)
+			i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] > v })
+			j := sort.Search(len(vn), func(i int) bool { return vn[i] > v })
+			total += int64(countIntersect(nbrs[i:], vn[j:]))
+		}
+	}
+	return total
+}
+
+// ConnectedComponents assigns each vertex a component label (the
+// smallest vertex ID in its component) using union-find. Directed
+// graphs use weak connectivity. This is the sequential reference
+// implementation used to validate the platform CONN algorithms.
+func (g *Graph) ConnectedComponents() []VertexID {
+	parent := make([]VertexID, g.n)
+	for i := range parent {
+		parent[i] = VertexID(i)
+	}
+	var find func(VertexID) VertexID
+	find = func(x VertexID) VertexID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b VertexID) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Union by smaller root so the representative is the minimum
+		// vertex ID, matching the label-propagation fixed point.
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for u := VertexID(0); u < VertexID(g.n); u++ {
+		for _, v := range g.Out(u) {
+			union(u, v)
+		}
+	}
+	labels := make([]VertexID, g.n)
+	for i := range labels {
+		labels[i] = find(VertexID(i))
+	}
+	return labels
+}
+
+// LargestComponent returns the vertex IDs of the largest (weakly)
+// connected component.
+func (g *Graph) LargestComponent() []VertexID {
+	labels := g.ConnectedComponents()
+	counts := make(map[VertexID]int)
+	for _, l := range labels {
+		counts[l]++
+	}
+	best, bestN := VertexID(-1), -1
+	for l, c := range counts {
+		if c > bestN || (c == bestN && l < best) {
+			best, bestN = l, c
+		}
+	}
+	out := make([]VertexID, 0, bestN)
+	for v, l := range labels {
+		if l == best {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}
+
+// BFSResult holds the outcome of a reference breadth-first search.
+type BFSResult struct {
+	// Level[v] is the BFS depth of v, or -1 if unreached.
+	Level []int32
+	// Visited is the number of vertices reached (including the source).
+	Visited int
+	// Iterations is the number of BFS levels expanded beyond the
+	// source, i.e. the eccentricity of the source within the reached
+	// set. This matches the per-dataset iteration counts of Table 5.
+	Iterations int
+}
+
+// BFSFrom runs a sequential breadth-first search from src, following
+// out-edges only (as the paper does for directed graphs). It is the
+// reference implementation used to validate the platform BFS.
+func (g *Graph) BFSFrom(src VertexID) *BFSResult {
+	level := make([]int32, g.n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	frontier := []VertexID{src}
+	visited := 1
+	depth := 0
+	for len(frontier) > 0 {
+		var next []VertexID
+		for _, u := range frontier {
+			for _, v := range g.Out(u) {
+				if level[v] < 0 {
+					level[v] = int32(depth + 1)
+					next = append(next, v)
+					visited++
+				}
+			}
+		}
+		if len(next) > 0 {
+			depth++
+		}
+		frontier = next
+	}
+	return &BFSResult{Level: level, Visited: visited, Iterations: depth}
+}
+
+// Coverage returns the fraction of vertices reached.
+func (r *BFSResult) Coverage() float64 {
+	if len(r.Level) == 0 {
+		return 0
+	}
+	return float64(r.Visited) / float64(len(r.Level))
+}
+
+// DegreeStats summarises the degree distribution.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+}
+
+// OutDegreeStats computes min/max/mean out-degree.
+func (g *Graph) OutDegreeStats() DegreeStats {
+	if g.n == 0 {
+		return DegreeStats{}
+	}
+	s := DegreeStats{Min: g.OutDegree(0)}
+	var sum int64
+	for v := VertexID(0); v < VertexID(g.n); v++ {
+		d := g.OutDegree(v)
+		if d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+		sum += int64(d)
+	}
+	s.Mean = float64(sum) / float64(g.n)
+	return s
+}

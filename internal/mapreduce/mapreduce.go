@@ -1,0 +1,439 @@
+// Package mapreduce is a working MapReduce engine modelled on Hadoop
+// 0.20 (Section 3.1 of the paper): mappers, a hash-partitioned
+// sort/shuffle, optional combiners, reducers, counters, and an
+// iterative job driver that — like Hadoop — materialises the entire
+// dataset to the DFS between consecutive jobs. Algorithms written
+// against this engine genuinely execute; the engine meanwhile records
+// an execution profile (records, bytes, job launches) that the cluster
+// cost model converts to simulated DAS-4 time.
+package mapreduce
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+)
+
+// Value is a record payload. Size reports its serialised byte
+// footprint, used for every disk, network, and memory account.
+type Value interface {
+	Size() int64
+}
+
+// KV is one key-value record. Keys are int64 (vertex IDs in the graph
+// jobs).
+type KV struct {
+	Key   int64
+	Value Value
+}
+
+// Dataset is an in-memory materialisation of a DFS file's records.
+type Dataset []KV
+
+// Bytes returns the serialised size of the dataset: per record, the
+// key (8 bytes framed to ~10 in text form) plus the value.
+func (d Dataset) Bytes() int64 {
+	var n int64
+	for _, kv := range d {
+		n += 10 + kv.Value.Size()
+	}
+	return n
+}
+
+// Mapper transforms one input record into any number of output
+// records.
+type Mapper interface {
+	Map(key int64, value Value, out *Emitter)
+}
+
+// Reducer folds all values sharing a key into output records. It is
+// also the interface for combiners.
+type Reducer interface {
+	Reduce(key int64, values []Value, out *Emitter)
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(key int64, value Value, out *Emitter)
+
+// Map implements Mapper.
+func (f MapperFunc) Map(key int64, value Value, out *Emitter) { f(key, value, out) }
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(key int64, values []Value, out *Emitter)
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key int64, values []Value, out *Emitter) { f(key, values, out) }
+
+// Counters are Hadoop-style job counters, used by drivers for
+// convergence checks.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Add increments a counter.
+func (c *Counters) Add(name string, n int64) {
+	c.mu.Lock()
+	c.m[name] += n
+	c.mu.Unlock()
+}
+
+// Get reads a counter.
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Emitter collects records emitted by a map or reduce function and
+// accounts their sizes.
+type Emitter struct {
+	records  []KV
+	bytes    int64
+	extraOps int64
+	counters *Counters
+}
+
+// Charge adds explicit computation work (record operations) beyond the
+// per-record parsing baseline — e.g. STATS neighbourhood
+// intersections, whose cost is quadratic in degree.
+func (e *Emitter) Charge(ops int64) { e.extraOps += ops }
+
+// Emit appends an output record.
+func (e *Emitter) Emit(key int64, v Value) {
+	e.records = append(e.records, KV{key, v})
+	e.bytes += 10 + v.Size()
+}
+
+// Incr bumps a job counter.
+func (e *Emitter) Incr(name string, n int64) { e.counters.Add(name, n) }
+
+// JobConfig describes one MapReduce job.
+type JobConfig struct {
+	Name     string
+	Mapper   Mapper
+	Reducer  Reducer
+	Combiner Reducer // optional, applied to each map task's output
+	// NumMaps and NumReduces default to the engine's worker count.
+	NumMaps, NumReduces int
+}
+
+// JobStats summarises one executed job.
+type JobStats struct {
+	Name                            string
+	MapInputRecords, MapOutputRecs  int64
+	MapOutputBytes                  int64
+	CombineOutputRecs               int64
+	ReduceInputGroups, ReduceOutput int64
+	ShuffleBytes                    int64
+	// SpillBytes is map output written to disk beyond the sort buffer
+	// (and read back during the merge).
+	SpillBytes  int64
+	OutputBytes int64
+	Counters    *Counters
+}
+
+// Engine executes jobs on a simulated cluster.
+type Engine struct {
+	HW cluster.Hardware
+	FS *hdfs.FS
+
+	// SortBufferBytes is the per-task in-memory sort buffer; map
+	// output beyond it spills to disk and is merged back during the
+	// shuffle. The paper's configuration uses 1.5 GB and observes that
+	// its BFS experiments do not spill ("Hadoop does not use spills,
+	// so it has no significant I/O within the iteration"); zero keeps
+	// that default.
+	SortBufferBytes int64
+
+	// Profile accumulates phases across all jobs run by this engine;
+	// drivers read it after the final job.
+	Profile *cluster.ExecutionProfile
+
+	// PeakShufflePerNode tracks the largest single-job shuffle volume
+	// landing on one node, for the memory model.
+	PeakShufflePerNode int64
+	// PeakJobBytesPerNode tracks the largest per-node data volume of
+	// any single job (input split + map output + shuffle input), which
+	// is what blows task memory on shuffle-heavy jobs (the paper's
+	// Hadoop/YARN crashes on STATS over DotaLeague).
+	PeakJobBytesPerNode int64
+}
+
+// New returns an engine on the given hardware.
+func New(hw cluster.Hardware, fs *hdfs.FS) *Engine {
+	return &Engine{HW: hw, FS: fs, Profile: &cluster.ExecutionProfile{}}
+}
+
+// opsFor estimates record-operations for processing a record of the
+// given size: one invocation plus parsing cost proportional to bytes.
+func opsFor(size int64) int64 { return 1 + size/64 }
+
+// Run executes one job over the input dataset and returns the output
+// dataset. inputBytes is the DFS size of the input (what the map phase
+// reads); the output's DFS size is measured from the emitted records.
+func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *JobStats, error) {
+	if cfg.Mapper == nil || cfg.Reducer == nil {
+		return nil, nil, fmt.Errorf("mapreduce: job %q needs a mapper and a reducer", cfg.Name)
+	}
+	nMaps := cfg.NumMaps
+	if nMaps <= 0 {
+		nMaps = e.HW.Workers()
+	}
+	nReds := cfg.NumReduces
+	if nReds <= 0 {
+		nReds = e.HW.Workers()
+	}
+
+	sortBuffer := e.SortBufferBytes
+	if sortBuffer <= 0 {
+		sortBuffer = 1536 << 20 // the paper's 1.5 GB memory limit for sorting
+	}
+
+	stats := &JobStats{Name: cfg.Name, Counters: NewCounters()}
+
+	// ---- Map phase -------------------------------------------------
+	splits := splitDataset(input, nMaps)
+	partitions := make([][][]KV, nMaps) // [map][reduce][]KV
+	var mapOps, maxMapOps int64
+	var mu sync.Mutex
+
+	parallelFor(nMaps, func(m int) {
+		em := &Emitter{counters: stats.Counters}
+		var ops int64
+		for _, kv := range splits[m] {
+			ops += opsFor(kv.Value.Size())
+			cfg.Mapper.Map(kv.Key, kv.Value, em)
+		}
+		ops += em.extraOps
+		// Partition map output by key hash.
+		parts := make([][]KV, nReds)
+		for _, kv := range em.records {
+			p := int(uint64(kv.Key) % uint64(nReds))
+			parts[p] = append(parts[p], kv)
+		}
+		var combineOut int64
+		if cfg.Combiner != nil {
+			for p := range parts {
+				parts[p] = runGroupFold(cfg.Combiner, parts[p], stats.Counters)
+				combineOut += int64(len(parts[p]))
+				ops += int64(len(parts[p]))
+			}
+		}
+		partitions[m] = parts
+
+		var spill int64
+		if em.bytes > sortBuffer {
+			spill = em.bytes - sortBuffer
+		}
+
+		mu.Lock()
+		stats.MapInputRecords += int64(len(splits[m]))
+		stats.MapOutputRecs += int64(len(em.records))
+		stats.MapOutputBytes += em.bytes
+		stats.CombineOutputRecs += combineOut
+		stats.SpillBytes += spill
+		mapOps += ops
+		if ops > maxMapOps {
+			maxMapOps = ops
+		}
+		mu.Unlock()
+	})
+
+	// ---- Shuffle ---------------------------------------------------
+	// Each reducer pulls its partition from every map task; on average
+	// (n-1)/n of the bytes cross the network.
+	var shuffleBytes int64
+	reduceInput := make([][]KV, nReds)
+	for r := 0; r < nReds; r++ {
+		for m := 0; m < nMaps; m++ {
+			reduceInput[r] = append(reduceInput[r], partitions[m][r]...)
+		}
+		for _, kv := range reduceInput[r] {
+			shuffleBytes += 10 + kv.Value.Size()
+		}
+	}
+	stats.ShuffleBytes = shuffleBytes
+	remote := shuffleBytes
+	if e.HW.Nodes > 1 {
+		remote = shuffleBytes * int64(e.HW.Nodes-1) / int64(e.HW.Nodes)
+	}
+	perNodeShuffle := shuffleBytes / int64(e.HW.Nodes)
+	if perNodeShuffle > e.PeakShufflePerNode {
+		e.PeakShufflePerNode = perNodeShuffle
+	}
+	perNodeJob := (inputBytes + stats.MapOutputBytes + shuffleBytes) / int64(e.HW.Nodes)
+	if perNodeJob > e.PeakJobBytesPerNode {
+		e.PeakJobBytesPerNode = perNodeJob
+	}
+
+	// ---- Reduce phase ----------------------------------------------
+	outputs := make([]Dataset, nReds)
+	var redOps, maxRedOps int64
+	parallelFor(nReds, func(r int) {
+		em := &Emitter{counters: stats.Counters}
+		part := reduceInput[r]
+		sort.SliceStable(part, func(i, j int) bool { return part[i].Key < part[j].Key })
+		var ops int64
+		groups := int64(0)
+		for i := 0; i < len(part); {
+			j := i
+			var vals []Value
+			var groupBytes int64
+			for j < len(part) && part[j].Key == part[i].Key {
+				vals = append(vals, part[j].Value)
+				groupBytes += part[j].Value.Size()
+				j++
+			}
+			ops += opsFor(groupBytes)
+			cfg.Reducer.Reduce(part[i].Key, vals, em)
+			groups++
+			i = j
+		}
+		ops += em.extraOps
+		outputs[r] = em.records
+
+		mu.Lock()
+		stats.ReduceInputGroups += groups
+		stats.ReduceOutput += int64(len(em.records))
+		redOps += ops
+		if ops > maxRedOps {
+			maxRedOps = ops
+		}
+		mu.Unlock()
+	})
+
+	var out Dataset
+	for _, o := range outputs {
+		out = append(out, o...)
+	}
+	stats.OutputBytes = out.Bytes()
+
+	// ---- Profile ---------------------------------------------------
+	e.Profile.AddPhase(cluster.Phase{
+		Name: cfg.Name + ":setup", Kind: cluster.PhaseSetup,
+		Jobs: 1, Tasks: nMaps + nReds,
+	})
+	e.Profile.AddPhase(cluster.Phase{
+		Name: cfg.Name + ":read", Kind: cluster.PhaseRead,
+		DiskRead: inputBytes,
+	})
+	e.Profile.AddPhase(cluster.Phase{
+		Name: cfg.Name + ":map", Kind: cluster.PhaseCompute,
+		Ops: mapOps, MaxPartOps: scaleSkew(maxMapOps, mapOps, nMaps, e.HW.Workers()),
+	})
+	e.Profile.AddPhase(cluster.Phase{
+		Name: cfg.Name + ":shuffle", Kind: cluster.PhaseShuffle,
+		Net: remote, DiskWrite: shuffleBytes + stats.SpillBytes,
+		DiskRead: shuffleBytes + stats.SpillBytes,
+	})
+	e.Profile.AddPhase(cluster.Phase{
+		Name: cfg.Name + ":reduce", Kind: cluster.PhaseCompute,
+		Ops: redOps, MaxPartOps: scaleSkew(maxRedOps, redOps, nReds, e.HW.Workers()),
+	})
+	e.Profile.AddPhase(cluster.Phase{
+		Name: cfg.Name + ":write", Kind: cluster.PhaseWrite,
+		DiskWrite: stats.OutputBytes,
+	})
+	return out, stats, nil
+}
+
+// scaleSkew converts a max-per-task ops figure into max-per-worker:
+// when there are more tasks than workers the busiest worker processes
+// several tasks, so per-task skew washes out toward the mean.
+func scaleSkew(maxTask, total int64, tasks, workers int) int64 {
+	if tasks <= 0 || total == 0 {
+		return 0
+	}
+	if tasks <= workers {
+		return maxTask
+	}
+	// Busiest worker ≈ mean worker load, plus the excess of the
+	// single busiest task over the mean task.
+	meanWorker := total / int64(workers)
+	meanTask := total / int64(tasks)
+	excess := maxTask - meanTask
+	if excess < 0 {
+		excess = 0
+	}
+	return meanWorker + excess
+}
+
+// splitDataset partitions records into n contiguous splits.
+func splitDataset(d Dataset, n int) []Dataset {
+	splits := make([]Dataset, n)
+	if len(d) == 0 {
+		return splits
+	}
+	per := (len(d) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * per
+		if lo >= len(d) {
+			break
+		}
+		hi := lo + per
+		if hi > len(d) {
+			hi = len(d)
+		}
+		splits[i] = d[lo:hi]
+	}
+	return splits
+}
+
+// runGroupFold sorts records by key, groups, and applies the reducer —
+// the combiner path.
+func runGroupFold(r Reducer, records []KV, c *Counters) []KV {
+	if len(records) == 0 {
+		return records
+	}
+	sort.SliceStable(records, func(i, j int) bool { return records[i].Key < records[j].Key })
+	em := &Emitter{counters: c}
+	for i := 0; i < len(records); {
+		j := i
+		var vals []Value
+		for j < len(records) && records[j].Key == records[i].Key {
+			vals = append(vals, records[j].Value)
+			j++
+		}
+		r.Reduce(records[i].Key, vals, em)
+		i = j
+	}
+	return em.records
+}
+
+// parallelFor runs fn(0..n-1) on up to GOMAXPROCS goroutines.
+func parallelFor(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

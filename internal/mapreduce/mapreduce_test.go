@@ -1,0 +1,276 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+)
+
+// intVal is a simple test value.
+type intVal int64
+
+func (intVal) Size() int64 { return 8 }
+
+// listVal is a variable-size test value.
+type listVal []int64
+
+func (l listVal) Size() int64 { return int64(len(l)) * 8 }
+
+func newEngine(nodes int) *Engine {
+	return New(cluster.DAS4(nodes, 1), hdfs.New())
+}
+
+// sumJob: map emits (key%3, v), reduce sums values per key.
+func sumJob(combiner bool) JobConfig {
+	cfg := JobConfig{
+		Name: "sum",
+		Mapper: MapperFunc(func(k int64, v Value, out *Emitter) {
+			out.Emit(k%3, v)
+		}),
+		Reducer: ReducerFunc(func(k int64, vals []Value, out *Emitter) {
+			var s int64
+			for _, v := range vals {
+				s += int64(v.(intVal))
+			}
+			out.Emit(k, intVal(s))
+		}),
+	}
+	if combiner {
+		cfg.Combiner = cfg.Reducer
+	}
+	return cfg
+}
+
+func makeInput(n int) Dataset {
+	var d Dataset
+	for i := 0; i < n; i++ {
+		d = append(d, KV{int64(i), intVal(1)})
+	}
+	return d
+}
+
+func collectSums(t *testing.T, out Dataset) map[int64]int64 {
+	t.Helper()
+	got := map[int64]int64{}
+	for _, kv := range out {
+		got[kv.Key] += int64(kv.Value.(intVal))
+	}
+	return got
+}
+
+func TestRunBasicJob(t *testing.T) {
+	e := newEngine(4)
+	out, stats, err := e.Run(sumJob(false), makeInput(300), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectSums(t, out)
+	if got[0] != 100 || got[1] != 100 || got[2] != 100 {
+		t.Fatalf("sums = %v, want 100 each", got)
+	}
+	if stats.MapInputRecords != 300 {
+		t.Fatalf("MapInputRecords = %d", stats.MapInputRecords)
+	}
+	if stats.MapOutputRecs != 300 {
+		t.Fatalf("MapOutputRecs = %d", stats.MapOutputRecs)
+	}
+	if stats.ReduceInputGroups != 3 {
+		t.Fatalf("ReduceInputGroups = %d", stats.ReduceInputGroups)
+	}
+	if stats.ShuffleBytes <= 0 || stats.OutputBytes <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestCombinerReducesShuffle(t *testing.T) {
+	in := makeInput(1000)
+	without, _ := func() (*JobStats, Dataset) {
+		e := newEngine(4)
+		out, s, _ := e.Run(sumJob(false), in, 0)
+		return s, out
+	}()
+	with, outC := func() (*JobStats, Dataset) {
+		e := newEngine(4)
+		out, s, _ := e.Run(sumJob(true), in, 0)
+		return s, out
+	}()
+	if with.ShuffleBytes >= without.ShuffleBytes {
+		t.Fatalf("combiner did not shrink shuffle: %d vs %d", with.ShuffleBytes, without.ShuffleBytes)
+	}
+	got := collectSums(t, outC)
+	if got[0] != 334 || got[1] != 333 || got[2] != 333 {
+		t.Fatalf("combiner changed results: %v", got)
+	}
+}
+
+func TestCountersFlow(t *testing.T) {
+	e := newEngine(2)
+	cfg := JobConfig{
+		Name: "count",
+		Mapper: MapperFunc(func(k int64, v Value, out *Emitter) {
+			out.Incr("mapped", 1)
+			out.Emit(k, v)
+		}),
+		Reducer: ReducerFunc(func(k int64, vals []Value, out *Emitter) {
+			out.Incr("reduced", 1)
+		}),
+	}
+	_, stats, err := e.Run(cfg, makeInput(50), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Counters.Get("mapped") != 50 {
+		t.Fatalf("mapped = %d", stats.Counters.Get("mapped"))
+	}
+	if stats.Counters.Get("reduced") != 50 {
+		t.Fatalf("reduced = %d", stats.Counters.Get("reduced"))
+	}
+}
+
+func TestProfilePhases(t *testing.T) {
+	e := newEngine(4)
+	if _, _, err := e.Run(sumJob(false), makeInput(100), 12345); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[cluster.PhaseKind]int{}
+	for _, ph := range e.Profile.Phases {
+		kinds[ph.Kind]++
+	}
+	for _, k := range []cluster.PhaseKind{cluster.PhaseSetup, cluster.PhaseRead, cluster.PhaseCompute, cluster.PhaseShuffle, cluster.PhaseWrite} {
+		if kinds[k] == 0 {
+			t.Errorf("missing phase kind %v", k)
+		}
+	}
+	// Read phase must carry the declared input bytes.
+	var read int64
+	for _, ph := range e.Profile.Phases {
+		if ph.Kind == cluster.PhaseRead {
+			read += ph.DiskRead
+		}
+	}
+	if read != 12345 {
+		t.Fatalf("DiskRead = %d, want 12345", read)
+	}
+}
+
+func TestMissingMapperOrReducer(t *testing.T) {
+	e := newEngine(1)
+	if _, _, err := e.Run(JobConfig{Name: "bad"}, nil, 0); err == nil {
+		t.Fatal("want error for missing mapper/reducer")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	e := newEngine(4)
+	out, stats, err := e.Run(sumJob(false), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || stats.MapInputRecords != 0 {
+		t.Fatalf("out=%v stats=%+v", out, stats)
+	}
+}
+
+func TestSplitDataset(t *testing.T) {
+	d := makeInput(10)
+	splits := splitDataset(d, 3)
+	if len(splits) != 3 {
+		t.Fatalf("len = %d", len(splits))
+	}
+	total := 0
+	for _, s := range splits {
+		total += len(s)
+	}
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	// More splits than records: empties allowed, nothing lost.
+	splits = splitDataset(makeInput(2), 5)
+	total = 0
+	for _, s := range splits {
+		total += len(s)
+	}
+	if total != 2 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestScaleSkew(t *testing.T) {
+	if got := scaleSkew(100, 100, 1, 10); got != 100 {
+		t.Fatalf("tasks<=workers: %d", got)
+	}
+	// 100 tasks over 10 workers, balanced: busiest worker ≈ mean.
+	if got := scaleSkew(10, 1000, 100, 10); got != 100 {
+		t.Fatalf("balanced: %d", got)
+	}
+	// One hot task (500 of 1000): busiest worker ≈ 100 + (500-10).
+	if got := scaleSkew(500, 1000, 100, 10); got != 590 {
+		t.Fatalf("skewed: %d", got)
+	}
+	if got := scaleSkew(0, 0, 10, 5); got != 0 {
+		t.Fatalf("zero: %d", got)
+	}
+}
+
+func TestVariableSizeValues(t *testing.T) {
+	e := newEngine(2)
+	in := Dataset{
+		{1, listVal{1, 2, 3}},
+		{2, listVal{4}},
+	}
+	cfg := JobConfig{
+		Name: "ident",
+		Mapper: MapperFunc(func(k int64, v Value, out *Emitter) {
+			out.Emit(k, v)
+		}),
+		Reducer: ReducerFunc(func(k int64, vals []Value, out *Emitter) {
+			for _, v := range vals {
+				out.Emit(k, v)
+			}
+		}),
+	}
+	out, stats, err := e.Run(cfg, in, in.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	if want := in.Bytes(); stats.OutputBytes != want {
+		t.Fatalf("OutputBytes = %d, want %d", stats.OutputBytes, want)
+	}
+}
+
+func TestNegativeKeysPartitionSafely(t *testing.T) {
+	e := newEngine(4)
+	in := Dataset{{-5, intVal(1)}, {-1, intVal(1)}, {3, intVal(1)}}
+	cfg := JobConfig{
+		Name:   "neg",
+		Mapper: MapperFunc(func(k int64, v Value, out *Emitter) { out.Emit(k, v) }),
+		Reducer: ReducerFunc(func(k int64, vals []Value, out *Emitter) {
+			out.Emit(k, intVal(len(vals)))
+		}),
+	}
+	out, _, err := e.Run(cfg, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() map[int64]int64 {
+		e := newEngine(8)
+		out, _, _ := e.Run(sumJob(true), makeInput(500), 0)
+		return collectSums(t, out)
+	}
+	a, b := run(), run()
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("nondeterministic results: %v vs %v", a, b)
+		}
+	}
+}

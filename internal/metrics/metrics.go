@@ -1,0 +1,129 @@
+// Package metrics implements the performance metrics of the paper's
+// Table 1: job execution time T, Edges/Vertices Per Second (EPS/VPS —
+// "a straightforward extension of the TEPS metric used by Graph500"),
+// their per-computing-unit normalised variants (NEPS/NVPS), and the
+// descriptive statistics used for reporting repeated runs.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// EPS returns edges per second: #E / T.
+func EPS(edges int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(edges) / seconds
+}
+
+// VPS returns vertices per second: #V / T.
+func VPS(vertices int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(vertices) / seconds
+}
+
+// NEPS returns EPS normalised by computing units: #E/T/N for
+// horizontal scalability (nodes) or #E/T/N/C for vertical scalability
+// (cores per node). Pass cores=1 for the node-normalised variant.
+func NEPS(edges int64, seconds float64, nodes, cores int) float64 {
+	units := nodes * cores
+	if units <= 0 {
+		return 0
+	}
+	return EPS(edges, seconds) / float64(units)
+}
+
+// NVPS is the vertex-centric equivalent of NEPS.
+func NVPS(vertices int64, seconds float64, nodes, cores int) float64 {
+	units := nodes * cores
+	if units <= 0 {
+		return 0
+	}
+	return VPS(vertices, seconds) / float64(units)
+}
+
+// Sample summarises repeated measurements of one experiment (the
+// paper repeats each experiment 10 times and reports averages; it
+// observes at most 10% variance).
+type Sample struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	Stddev float64
+}
+
+// Summarize computes a Sample from raw measurements.
+func Summarize(values []float64) Sample {
+	if len(values) == 0 {
+		return Sample{}
+	}
+	s := Sample{N: len(values), Min: values[0], Max: values[0]}
+	var sum float64
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(values))
+	if len(values) > 1 {
+		var ss float64
+		for _, v := range values {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(values)-1))
+	}
+	return s
+}
+
+// CV returns the coefficient of variation (relative variance), the
+// paper's stability measure ("the largest variance [is] 10%").
+func (s Sample) CV() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Stddev / s.Mean
+}
+
+// Median returns the median of the values.
+func Median(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// Speedup returns t_base / t: >1 means faster than baseline.
+func Speedup(base, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return base / t
+}
+
+// ScalingEfficiency returns the fraction of ideal linear speedup
+// achieved when scaling resources from n1 to n2 units with times t1
+// and t2.
+func ScalingEfficiency(n1, n2 int, t1, t2 float64) float64 {
+	if t2 <= 0 || n1 <= 0 || n2 <= 0 {
+		return 0
+	}
+	ideal := float64(n2) / float64(n1)
+	actual := t1 / t2
+	return actual / ideal
+}

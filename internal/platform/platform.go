@@ -1,0 +1,604 @@
+// Package platform presents the six systems of the paper's Table 4 —
+// Hadoop, YARN, Stratosphere, Giraph, GraphLab (plus the GraphLab(mp)
+// tuning variant), and Neo4j — behind one interface. Each platform
+// wires its engine, its algorithm implementations, its cost model, and
+// its failure semantics (out-of-memory crashes, the paper's run
+// terminations) into a single Run call, which is what the benchmark
+// harness drives for every experiment.
+package platform
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
+	"repro/internal/datagen"
+	"repro/internal/dbalgo"
+	"repro/internal/gasalgo"
+	"repro/internal/graph"
+	"repro/internal/graphdb"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/mralgo"
+	"repro/internal/pactalgo"
+	"repro/internal/pregelalgo"
+	"repro/internal/yarn"
+)
+
+// Algorithm names, as used throughout the paper.
+const (
+	STATS = "STATS"
+	BFS   = "BFS"
+	CONN  = "CONN"
+	CD    = "CD"
+	EVO   = "EVO"
+)
+
+// Algorithms lists the five algorithm classes in paper order.
+func Algorithms() []string { return []string{STATS, BFS, CONN, CD, EVO} }
+
+// Timeout thresholds, in projected (paper-scale) seconds. The paper
+// terminated Stratosphere's STATS on DotaLeague after ~4 hours, and
+// reports Neo4j runs exceeding 20 hours without completing.
+const (
+	DistributedTimeout = 4 * 3600
+	SingleNodeTimeout  = 20 * 3600
+	// IngestionLimit marks datasets whose single-node ingestion is
+	// infeasible (Neo4j's Friendster entry is "N/A" in Table 6).
+	IngestionLimit = 100 * 3600
+)
+
+// Spec describes one experiment run.
+type Spec struct {
+	// Algorithm is one of STATS, BFS, CONN, CD, EVO.
+	Algorithm string
+	// Dataset supplies the name and the scale projection divisors.
+	Dataset datagen.Profile
+	// G is the generated graph.
+	G *graph.Graph
+	// HW is the simulated cluster.
+	HW cluster.Hardware
+	// Params are the algorithm parameters (Section 3.2 defaults).
+	Params algo.Params
+	// ScaleFactor is any extra down-scaling applied on top of the
+	// dataset's default divisors (1 = none); it participates in the
+	// paper-scale projection.
+	ScaleFactor int
+	// WarmCache requests a hot-cache run (Neo4j only): the cold pass
+	// is executed first and discarded, as the paper does.
+	WarmCache bool
+}
+
+// Status is the outcome class of a run.
+type Status int
+
+const (
+	// OK: completed.
+	OK Status = iota
+	// Crashed: out of memory, like the paper's crash entries.
+	Crashed
+	// Timeout: exceeded the run budget and was terminated.
+	Timeout
+	// NotSupported: the platform cannot hold the dataset at all
+	// (Neo4j + Friendster: ingestion infeasible).
+	NotSupported
+)
+
+var statusNames = [...]string{"ok", "crash", "timeout", "n/a"}
+
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Platform  string
+	Algorithm string
+	Dataset   string
+
+	Status Status
+	Err    error
+
+	// Breakdown is the simulated timing at the scaled workload.
+	Breakdown cluster.Breakdown
+	// Seconds is the job execution time T projected to the paper-scale
+	// dataset: data-dependent time scales with the dataset's edge
+	// divisor, fixed launch overheads do not. This is the number
+	// comparable to the paper's figures.
+	Seconds float64
+	// ComputeSeconds and OverheadSeconds split Seconds into the
+	// paper's Tc and To.
+	ComputeSeconds  float64
+	OverheadSeconds float64
+
+	// Profile is the measured execution record.
+	Profile *cluster.ExecutionProfile
+	// Output is the algorithm result (*algo.StatsResult etc.).
+	Output any
+	// Iterations executed.
+	Iterations int
+
+	// projV/projE are the paper-scale dataset dimensions for the
+	// throughput metrics.
+	projV, projE int64
+}
+
+// EPS returns edges per second at paper scale (Section 2.1).
+func (r *Result) EPS() float64 {
+	if r.Seconds <= 0 || r.Status != OK {
+		return 0
+	}
+	return float64(r.paperEdges()) / r.Seconds
+}
+
+// VPS returns vertices per second at paper scale.
+func (r *Result) VPS() float64 {
+	if r.Seconds <= 0 || r.Status != OK {
+		return 0
+	}
+	return float64(r.paperVertices()) / r.Seconds
+}
+
+func (r *Result) paperEdges() int64    { return r.projE }
+func (r *Result) paperVertices() int64 { return r.projV }
+
+// Platform is one system under test.
+type Platform interface {
+	// Name as in Table 4.
+	Name() string
+	// Version as in Table 4.
+	Version() string
+	// Kind is the taxonomy cell ("Generic, Distributed", ...).
+	Kind() string
+	// Costs returns the platform's calibrated cost model.
+	Costs() cluster.CostModel
+	// Run executes one experiment.
+	Run(spec Spec) *Result
+}
+
+// All returns the six platforms in Table 4 order.
+func All() []Platform {
+	return []Platform{
+		NewHadoop(), NewYARN(), NewStratosphere(),
+		NewGiraph(), NewGraphLab(false), NewNeo4j(),
+	}
+}
+
+// Distributed returns the five distributed platforms.
+func Distributed() []Platform {
+	return []Platform{
+		NewHadoop(), NewYARN(), NewStratosphere(),
+		NewGiraph(), NewGraphLab(false),
+	}
+}
+
+// ByName resolves a platform name ("GraphLab(mp)" selects the
+// multi-part loader variant).
+func ByName(name string) (Platform, error) {
+	switch name {
+	case "Hadoop":
+		return NewHadoop(), nil
+	case "YARN":
+		return NewYARN(), nil
+	case "Stratosphere":
+		return NewStratosphere(), nil
+	case "Giraph":
+		return NewGiraph(), nil
+	case "GraphLab":
+		return NewGraphLab(false), nil
+	case "GraphLab(mp)":
+		return NewGraphLab(true), nil
+	case "Neo4j":
+		return NewNeo4j(), nil
+	}
+	return nil, fmt.Errorf("platform: unknown platform %q", name)
+}
+
+// projection returns the scale divisor used to project data-dependent
+// time and memory back to paper scale.
+func projection(spec Spec) int64 {
+	p := int64(1)
+	if spec.Dataset.EDivisor > 0 {
+		p = int64(spec.Dataset.EDivisor)
+	}
+	if spec.ScaleFactor > 1 {
+		p *= int64(spec.ScaleFactor)
+	}
+	return p
+}
+
+// finish computes the breakdown, projection, and timeout status shared
+// by every platform.
+func finish(r *Result, cm cluster.CostModel, hw cluster.Hardware, proj int64, timeout float64) {
+	b := cm.Time(r.Profile, hw)
+	r.Breakdown = b
+	dataTime := b.Total - b.Setup
+	if dataTime < 0 {
+		dataTime = 0
+	}
+	r.Seconds = b.Setup + dataTime*float64(proj)
+	r.ComputeSeconds = b.Compute * float64(proj)
+	r.OverheadSeconds = r.Seconds - r.ComputeSeconds
+	r.Iterations = r.Profile.Iterations
+	if r.Status == OK && timeout > 0 && r.Seconds > timeout {
+		r.Status = Timeout
+		r.Err = fmt.Errorf("terminated after exceeding %.0f h (projected %.1f h)",
+			timeout/3600, r.Seconds/3600)
+	}
+}
+
+func fillIDs(r *Result, spec Spec, platformName string) {
+	r.Platform = platformName
+	r.Algorithm = spec.Algorithm
+	r.Dataset = spec.Dataset.Name
+	vdiv := max64(1, int64(spec.Dataset.VDivisor))
+	if spec.ScaleFactor > 1 {
+		vdiv *= int64(spec.ScaleFactor)
+	}
+	r.projV = int64(spec.G.NumVertices()) * vdiv
+	r.projE = spec.G.NumEdges() * projection(spec)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---- Hadoop ---------------------------------------------------------
+
+type mrPlatform struct {
+	name, version string
+	costs         cluster.CostModel
+	newEngine     func(hw cluster.Hardware) (*mapreduce.Engine, func(), error)
+}
+
+// NewHadoop returns the Hadoop platform (hadoop-0.20.203.0 in the
+// paper).
+func NewHadoop() Platform {
+	return &mrPlatform{
+		name: "Hadoop", version: "hadoop-0.20.203.0", costs: cluster.HadoopCosts(),
+		newEngine: func(hw cluster.Hardware) (*mapreduce.Engine, func(), error) {
+			return mapreduce.New(hw, hdfs.New()), func() {}, nil
+		},
+	}
+}
+
+// NewYARN returns the YARN platform (hadoop-2.0.3-alpha): the same
+// MapReduce execution inside an RM/AM container deployment.
+func NewYARN() Platform {
+	return &mrPlatform{
+		name: "YARN", version: "hadoop-2.0.3-alpha", costs: cluster.YARNCosts(),
+		newEngine: func(hw cluster.Hardware) (*mapreduce.Engine, func(), error) {
+			rm := yarn.NewResourceManager(hw, hdfs.New())
+			am, err := rm.Submit("graphbench", 1<<30)
+			if err != nil {
+				return nil, nil, err
+			}
+			return am.Engine(), am.Finish, nil
+		},
+	}
+}
+
+func (p *mrPlatform) Name() string             { return p.name }
+func (p *mrPlatform) Version() string          { return p.version }
+func (p *mrPlatform) Kind() string             { return "Generic, Distributed" }
+func (p *mrPlatform) Costs() cluster.CostModel { return p.costs }
+
+func (p *mrPlatform) Run(spec Spec) *Result {
+	r := &Result{Profile: &cluster.ExecutionProfile{}}
+	fillIDs(r, spec, p.name)
+	eng, release, err := p.newEngine(spec.HW)
+	if err != nil {
+		r.Status = Crashed
+		r.Err = err
+		return r
+	}
+	defer release()
+
+	var out any
+	switch spec.Algorithm {
+	case STATS:
+		out, err = callE(func() (any, error) { return mralgo.Stats(eng, spec.G) })
+	case BFS:
+		out, err = callE(func() (any, error) { return mralgo.BFS(eng, spec.G, spec.Params.BFSSource) })
+	case CONN:
+		out, err = callE(func() (any, error) { return mralgo.Conn(eng, spec.G) })
+	case CD:
+		out, err = callE(func() (any, error) { return mralgo.CD(eng, spec.G, spec.Params) })
+	case EVO:
+		out, err = callE(func() (any, error) { return mralgo.EVO(eng, spec.G, spec.Params) })
+	default:
+		err = fmt.Errorf("unknown algorithm %q", spec.Algorithm)
+	}
+	if err != nil {
+		r.Status = Crashed
+		r.Err = err
+		return r
+	}
+	r.Output = out
+	r.Profile = eng.Profile
+
+	// Memory: the busiest node must hold its split, its map output,
+	// and its shuffle input in the task JVMs (projected to paper
+	// scale).
+	proj := projection(spec)
+	demand := int64(float64(p.costs.MemBase) +
+		p.costs.GCFactor*p.costs.GraphMemFactor*float64(eng.PeakJobBytesPerNode*proj))
+	if err := cluster.CheckMemory(demand, spec.HW); err != nil {
+		r.Status = Crashed
+		r.Err = err
+		return r
+	}
+	finish(r, p.costs, spec.HW, proj, DistributedTimeout)
+	return r
+}
+
+func callE(f func() (any, error)) (any, error) { return f() }
+
+// ---- Stratosphere ---------------------------------------------------
+
+type stratoPlatform struct{}
+
+// NewStratosphere returns the Stratosphere platform (0.2).
+func NewStratosphere() Platform { return stratoPlatform{} }
+
+func (stratoPlatform) Name() string             { return "Stratosphere" }
+func (stratoPlatform) Version() string          { return "Stratosphere-0.2" }
+func (stratoPlatform) Kind() string             { return "Generic, Distributed" }
+func (stratoPlatform) Costs() cluster.CostModel { return cluster.StratosphereCosts() }
+
+func (p stratoPlatform) Run(spec Spec) *Result {
+	r := &Result{Profile: &cluster.ExecutionProfile{}}
+	fillIDs(r, spec, p.Name())
+	eng := dataflow.New(spec.HW)
+
+	var out any
+	var err error
+	switch spec.Algorithm {
+	case STATS:
+		out, err = callE(func() (any, error) { return pactalgo.Stats(eng, spec.G) })
+	case BFS:
+		out, err = callE(func() (any, error) { return pactalgo.BFS(eng, spec.G, spec.Params.BFSSource) })
+	case CONN:
+		out, err = callE(func() (any, error) { return pactalgo.Conn(eng, spec.G) })
+	case CD:
+		out, err = callE(func() (any, error) { return pactalgo.CD(eng, spec.G, spec.Params) })
+	case EVO:
+		out, err = callE(func() (any, error) { return pactalgo.EVO(eng, spec.G, spec.Params) })
+	default:
+		err = fmt.Errorf("unknown algorithm %q", spec.Algorithm)
+	}
+	if err != nil {
+		r.Status = Crashed
+		r.Err = err
+		return r
+	}
+	r.Output = out
+	r.Profile = eng.Profile
+	// Stratosphere manages its pre-allocated memory and spills rather
+	// than crashing; its failure mode in the paper is running out of
+	// *time* (STATS on DotaLeague terminated near 4 hours), which the
+	// shared timeout check below applies.
+	finish(r, p.Costs(), spec.HW, projection(spec), DistributedTimeout)
+	return r
+}
+
+// ---- Giraph ---------------------------------------------------------
+
+type giraphPlatform struct{}
+
+// NewGiraph returns the Giraph platform (0.2, revision 1336743).
+func NewGiraph() Platform { return giraphPlatform{} }
+
+func (giraphPlatform) Name() string             { return "Giraph" }
+func (giraphPlatform) Version() string          { return "Giraph 0.2 (rev 1336743)" }
+func (giraphPlatform) Kind() string             { return "Graph, Distributed" }
+func (giraphPlatform) Costs() cluster.CostModel { return cluster.GiraphCosts() }
+
+func (p giraphPlatform) Run(spec Spec) *Result {
+	r := &Result{Profile: &cluster.ExecutionProfile{}}
+	fillIDs(r, spec, p.Name())
+	cm := p.Costs()
+	proj := projection(spec)
+	hw := spec.HW
+
+	// Graph memory at paper scale; what remains of the node budget
+	// bounds the per-superstep message buffers.
+	graphPerNode := float64(spec.G.MemoryFootprint()) * float64(proj) / float64(hw.Nodes)
+	budget := float64(hw.MemPerNode)/cm.GCFactor - float64(cm.MemBase) - cm.GraphMemFactor*graphPerNode
+	if budget <= 0 {
+		r.Status = Crashed
+		r.Err = fmt.Errorf("graph partition alone exceeds node memory: %w", cluster.ErrOutOfMemory)
+		return r
+	}
+	sendLimit := int64(budget / (cm.MemPerMsgByte * float64(proj)))
+
+	var out any
+	var err error
+	runPregel := func(f func(limit int64) error) error { return f(sendLimit) }
+	switch spec.Algorithm {
+	case STATS:
+		err = runPregel(func(limit int64) error {
+			res, _, e := pregelalgo.Stats(spec.G, hw, limit, r.Profile)
+			out = res
+			return e
+		})
+	case BFS:
+		err = runPregel(func(limit int64) error {
+			res, _, e := pregelalgo.BFS(spec.G, hw, spec.Params.BFSSource, limit, r.Profile)
+			out = res
+			return e
+		})
+	case CONN:
+		err = runPregel(func(limit int64) error {
+			res, _, e := pregelalgo.Conn(spec.G, hw, limit, r.Profile)
+			out = res
+			return e
+		})
+	case CD:
+		err = runPregel(func(limit int64) error {
+			res, _, e := pregelalgo.CD(spec.G, hw, spec.Params, limit, r.Profile)
+			out = res
+			return e
+		})
+	case EVO:
+		err = runPregel(func(limit int64) error {
+			res, _, e := pregelalgo.EVO(spec.G, hw, spec.Params, limit, r.Profile)
+			out = res
+			return e
+		})
+	default:
+		err = fmt.Errorf("unknown algorithm %q", spec.Algorithm)
+	}
+	if err != nil {
+		r.Status = Crashed
+		r.Err = err
+		return r
+	}
+	r.Output = out
+	// Giraph reads its input once and holds everything in memory.
+	r.Profile.Phases = append([]cluster.Phase{{
+		Name: "giraph:read", Kind: cluster.PhaseRead,
+		DiskRead: graph.TextSize(spec.G),
+	}}, r.Profile.Phases...)
+	finish(r, cm, hw, proj, DistributedTimeout)
+	return r
+}
+
+// ---- GraphLab -------------------------------------------------------
+
+type graphlabPlatform struct {
+	mp bool
+}
+
+// NewGraphLab returns the GraphLab platform (2.1.4434); mp selects the
+// multi-part loading variant GraphLab(mp) of Section 4.3.1.
+func NewGraphLab(mp bool) Platform { return graphlabPlatform{mp: mp} }
+
+func (p graphlabPlatform) Name() string {
+	if p.mp {
+		return "GraphLab(mp)"
+	}
+	return "GraphLab"
+}
+func (graphlabPlatform) Version() string          { return "GraphLab 2.1.4434" }
+func (graphlabPlatform) Kind() string             { return "Graph, Distributed" }
+func (graphlabPlatform) Costs() cluster.CostModel { return cluster.GraphLabCosts() }
+
+func (p graphlabPlatform) Run(spec Spec) *Result {
+	r := &Result{Profile: &cluster.ExecutionProfile{}}
+	fillIDs(r, spec, p.Name())
+	inputBytes := graph.TextSize(spec.G)
+
+	var out any
+	var err error
+	switch spec.Algorithm {
+	case STATS:
+		res, _, e := gasalgo.Stats(spec.G, spec.HW, inputBytes, p.mp, r.Profile)
+		out, err = res, e
+	case BFS:
+		res, _, e := gasalgo.BFS(spec.G, spec.HW, spec.Params.BFSSource, inputBytes, p.mp, r.Profile)
+		out, err = res, e
+	case CONN:
+		res, _, e := gasalgo.Conn(spec.G, spec.HW, inputBytes, p.mp, r.Profile)
+		out, err = res, e
+	case CD:
+		res, _, e := gasalgo.CD(spec.G, spec.HW, spec.Params, inputBytes, p.mp, r.Profile)
+		out, err = res, e
+	case EVO:
+		res, e := gasalgo.EVO(spec.G, spec.HW, spec.Params, inputBytes, p.mp, r.Profile)
+		out, err = res, e
+	default:
+		err = fmt.Errorf("unknown algorithm %q", spec.Algorithm)
+	}
+	if err != nil {
+		r.Status = Crashed
+		r.Err = err
+		return r
+	}
+	r.Output = out
+
+	cm := p.Costs()
+	proj := projection(spec)
+	demand := int64(cm.GCFactor * (float64(cm.MemBase) +
+		cm.GraphMemFactor*float64(r.Profile.PeakMemPerNode*proj)))
+	if err := cluster.CheckMemory(demand, spec.HW); err != nil {
+		r.Status = Crashed
+		r.Err = err
+		return r
+	}
+	finish(r, cm, spec.HW, proj, DistributedTimeout)
+	return r
+}
+
+// ---- Neo4j ----------------------------------------------------------
+
+type neo4jPlatform struct{}
+
+// NewNeo4j returns the Neo4j platform (1.5), a single-machine graph
+// database.
+func NewNeo4j() Platform { return neo4jPlatform{} }
+
+func (neo4jPlatform) Name() string             { return "Neo4j" }
+func (neo4jPlatform) Version() string          { return "Neo4j 1.5" }
+func (neo4jPlatform) Kind() string             { return "Graph, Non-distributed" }
+func (neo4jPlatform) Costs() cluster.CostModel { return cluster.Neo4jCosts() }
+
+func (p neo4jPlatform) Run(spec Spec) *Result {
+	r := &Result{Profile: &cluster.ExecutionProfile{}}
+	fillIDs(r, spec, p.Name())
+	proj := projection(spec)
+
+	cfg := graphdb.DefaultConfig()
+	cfg.Projection = proj
+	db := graphdb.Open(spec.G, cfg)
+
+	if db.IngestSeconds() > IngestionLimit {
+		r.Status = NotSupported
+		r.Err = errors.New("data ingestion infeasible on a single machine (Table 6: N/A)")
+		return r
+	}
+
+	hw := cluster.SingleNode()
+	run := func(profile *cluster.ExecutionProfile) (any, error) {
+		switch spec.Algorithm {
+		case STATS:
+			return dbalgo.Stats(db, profile)
+		case BFS:
+			return dbalgo.BFS(db, spec.Params.BFSSource, profile)
+		case CONN:
+			return dbalgo.Conn(db, profile)
+		case CD:
+			return dbalgo.CD(db, spec.Params, profile)
+		case EVO:
+			return dbalgo.EVO(db, spec.Params, profile)
+		}
+		return nil, fmt.Errorf("unknown algorithm %q", spec.Algorithm)
+	}
+
+	if spec.WarmCache {
+		// Cold pass to fill the caches, discarded (the paper reports
+		// hot-cache numbers in Figure 1).
+		if _, err := run(&cluster.ExecutionProfile{}); err != nil {
+			r.Status = Crashed
+			r.Err = err
+			return r
+		}
+	}
+	out, err := run(r.Profile)
+	if err != nil {
+		r.Status = Crashed
+		r.Err = err
+		return r
+	}
+	r.Output = out
+	finish(r, p.Costs(), hw, proj, SingleNodeTimeout)
+	return r
+}

@@ -1,0 +1,437 @@
+// Package pregel is a vertex-centric Bulk Synchronous Parallel engine
+// modelled on Giraph 0.2 (Section 3.1 of the paper): supersteps with
+// global barriers, message passing with optional combiners,
+// aggregators, vote-to-halt with message reactivation, and a fully
+// in-memory graph. Only active vertices compute in each superstep —
+// the "dynamic computation mechanism" the paper credits for Giraph's
+// BFS performance. The engine measures message volume and per-node
+// memory demand, which is what makes Giraph's paper-documented crashes
+// (STATS on WikiTalk, everything but EVO on Friendster) reproducible.
+package pregel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// Message is a value sent between vertices. Size reports serialised
+// bytes for network and memory accounting.
+type Message interface {
+	Size() int64
+}
+
+// Value is a vertex state value.
+type Value interface {
+	Size() int64
+}
+
+// Combiner merges two messages destined for the same vertex,
+// shrinking network traffic and inbox memory (Giraph's message
+// combiner).
+type Combiner interface {
+	Combine(a, b Message) Message
+}
+
+// Program is the user computation, invoked once per active vertex per
+// superstep. Implementations must be safe for concurrent calls on
+// different vertices.
+type Program interface {
+	Compute(ctx *Context, msgs []Message)
+}
+
+// ProgramFunc adapts a function to Program.
+type ProgramFunc func(ctx *Context, msgs []Message)
+
+// Compute implements Program.
+func (f ProgramFunc) Compute(ctx *Context, msgs []Message) { f(ctx, msgs) }
+
+// Config configures a run.
+type Config struct {
+	// Program is the vertex computation.
+	Program Program
+	// Combiner is optional.
+	Combiner Combiner
+	// MaxSupersteps bounds the run (0 = no bound).
+	MaxSupersteps int
+	// InitialValue seeds each vertex's state (nil = nil values).
+	InitialValue func(v graph.VertexID) Value
+	// InitiallyActive selects the starting active set (nil = all).
+	InitiallyActive func(v graph.VertexID) bool
+	// MessageEnvelope is the per-message framing overhead in bytes
+	// (destination ID plus headers); Giraph's wire format uses ~16.
+	MessageEnvelope int64
+	// SendLimitPerNode aborts the run with ErrOutOfMemory when any
+	// worker's outgoing message buffer for one superstep exceeds this
+	// many bytes (0 = unlimited) — Giraph's crash mode when "the
+	// amount of messages between computing nodes becomes extremely
+	// large".
+	SendLimitPerNode int64
+	// SkipSetup omits the job-launch phase from the profile; used when
+	// several engine runs model phases of one platform job (EVO's
+	// per-iteration exchanges).
+	SkipSetup bool
+	// CheckpointEvery writes a fault-tolerance checkpoint (vertex
+	// values plus in-flight messages, to the DFS) every N supersteps —
+	// Giraph's periodic checkpointing (Section 3.1). Zero disables it.
+	CheckpointEvery int
+}
+
+// Stats summarises a run's measured behaviour.
+type Stats struct {
+	Supersteps     int
+	TotalMessages  int64
+	TotalMsgBytes  int64
+	NetBytes       int64
+	PeakInboxBytes int64 // largest per-node inbox in any superstep
+	PeakSendBytes  int64 // largest per-node send buffer in any superstep
+	ComputeCalls   int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Values []Value
+	Stats  Stats
+	// Aggregators holds the final value of every aggregator.
+	Aggregators map[string]float64
+}
+
+// Context is the per-vertex view passed to Program.Compute.
+type Context struct {
+	w         *worker
+	id        graph.VertexID
+	active    bool
+	pendingAg map[string]float64
+}
+
+// ID returns the vertex ID.
+func (c *Context) ID() graph.VertexID { return c.id }
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context) Superstep() int { return c.w.e.superstep }
+
+// NumVertices returns |V|.
+func (c *Context) NumVertices() int { return c.w.e.g.NumVertices() }
+
+// Out returns the vertex's out-neighbours.
+func (c *Context) Out() []graph.VertexID { return c.w.e.g.Out(c.id) }
+
+// In returns the vertex's in-neighbours (equal to Out for undirected
+// graphs).
+func (c *Context) In() []graph.VertexID { return c.w.e.g.In(c.id) }
+
+// Directed reports whether the underlying graph is directed.
+func (c *Context) Directed() bool { return c.w.e.g.Directed() }
+
+// OutDegree returns the vertex's out-degree.
+func (c *Context) OutDegree() int { return c.w.e.g.OutDegree(c.id) }
+
+// Value returns the vertex state.
+func (c *Context) Value() Value { return c.w.e.values[c.id] }
+
+// SetValue replaces the vertex state.
+func (c *Context) SetValue(v Value) { c.w.e.values[c.id] = v }
+
+// Send delivers a message to dst at the next superstep.
+func (c *Context) Send(dst graph.VertexID, m Message) {
+	c.w.send(dst, m)
+}
+
+// SendToNeighbors sends m along every out-edge.
+func (c *Context) SendToNeighbors(m Message) {
+	for _, dst := range c.w.e.g.Out(c.id) {
+		c.w.send(dst, m)
+	}
+}
+
+// VoteToHalt deactivates the vertex until a message arrives.
+func (c *Context) VoteToHalt() { c.active = false }
+
+// Aggregate adds x into the named sum-aggregator, visible via
+// Aggregated from the next superstep.
+func (c *Context) Aggregate(name string, x float64) {
+	if c.pendingAg == nil {
+		c.pendingAg = make(map[string]float64)
+	}
+	c.pendingAg[name] += x
+}
+
+// Aggregated returns the named aggregator's value from the previous
+// superstep.
+func (c *Context) Aggregated(name string) float64 { return c.w.e.aggPrev[name] }
+
+// Charge adds explicit computation work beyond the per-message
+// baseline (quadratic per-vertex functions such as STATS
+// intersections).
+func (c *Context) Charge(ops int64) { c.w.ops += ops }
+
+type envelope struct {
+	dst graph.VertexID
+	msg Message
+}
+
+type worker struct {
+	e    *Engine
+	part int
+	// outbox[p] collects messages for partition p this superstep.
+	outbox [][]envelope
+	// measured
+	sentMsgs, sentBytes, netBytes, ops int64
+	pendingAg                          map[string]float64
+}
+
+func (w *worker) send(dst graph.VertexID, m Message) {
+	p := w.e.partitionOf(dst)
+	w.outbox[p] = append(w.outbox[p], envelope{dst, m})
+	size := m.Size() + w.e.cfg.MessageEnvelope
+	w.sentMsgs++
+	w.sentBytes += size
+	if p != w.part {
+		w.netBytes += size
+	}
+	w.ops += 1 + m.Size()/64
+}
+
+// Engine holds a run's state.
+type Engine struct {
+	g         *graph.Graph
+	hw        cluster.Hardware
+	cfg       Config
+	values    []Value
+	superstep int
+	aggPrev   map[string]float64
+}
+
+func (e *Engine) partitionOf(v graph.VertexID) int {
+	return int(v) % e.hw.Nodes
+}
+
+// Run executes cfg over g on the simulated hardware, appending phases
+// to profile (which may be nil).
+func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.ExecutionProfile) (*Result, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("pregel: Config.Program is required")
+	}
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MessageEnvelope == 0 {
+		cfg.MessageEnvelope = 16
+	}
+	e := &Engine{g: g, hw: hw, cfg: cfg, aggPrev: map[string]float64{}}
+	n := g.NumVertices()
+	e.values = make([]Value, n)
+	if cfg.InitialValue != nil {
+		for v := 0; v < n; v++ {
+			e.values[v] = cfg.InitialValue(graph.VertexID(v))
+		}
+	}
+	active := make([]bool, n)
+	for v := 0; v < n; v++ {
+		active[v] = cfg.InitiallyActive == nil || cfg.InitiallyActive(graph.VertexID(v))
+	}
+
+	parts := e.hw.Nodes
+	// Partition member lists (vertices in ID order per partition).
+	members := make([][]graph.VertexID, parts)
+	for v := 0; v < n; v++ {
+		p := e.partitionOf(graph.VertexID(v))
+		members[p] = append(members[p], graph.VertexID(v))
+	}
+
+	inbox := make([][]Message, n)
+	var st Stats
+
+	if profile != nil && !cfg.SkipSetup {
+		profile.AddPhase(cluster.Phase{
+			Name: "pregel:setup", Kind: cluster.PhaseSetup,
+			Jobs: 1, Tasks: parts,
+		})
+	}
+
+	for {
+		if cfg.MaxSupersteps > 0 && e.superstep >= cfg.MaxSupersteps {
+			break
+		}
+		// Any work this superstep?
+		anyWork := false
+		for v := 0; v < n && !anyWork; v++ {
+			anyWork = active[v] || len(inbox[v]) > 0
+		}
+		if !anyWork {
+			break
+		}
+
+		workers := make([]*worker, parts)
+		nextInbox := make([][]Message, n)
+		var wg sync.WaitGroup
+		partOps := make([]int64, parts)
+		for p := 0; p < parts; p++ {
+			w := &worker{e: e, part: p, outbox: make([][]envelope, parts)}
+			workers[p] = w
+			wg.Add(1)
+			go func(p int, w *worker) {
+				defer wg.Done()
+				for _, v := range members[p] {
+					msgs := inbox[v]
+					if !active[v] && len(msgs) == 0 {
+						continue
+					}
+					ctx := &Context{w: w, id: v, active: true}
+					var inBytes int64
+					for _, m := range msgs {
+						inBytes += m.Size()
+					}
+					w.ops += 1 + inBytes/64
+					cfg.Program.Compute(ctx, msgs)
+					active[v] = ctx.active
+					if ctx.pendingAg != nil {
+						if w.pendingAg == nil {
+							w.pendingAg = make(map[string]float64)
+						}
+						for k, x := range ctx.pendingAg {
+							w.pendingAg[k] += x
+						}
+					}
+					inbox[v] = nil
+				}
+				partOps[p] = w.ops
+			}(p, w)
+		}
+		wg.Wait()
+
+		// Barrier: merge outboxes deterministically (source partition
+		// order), apply the combiner, gather aggregators and stats.
+		agg := map[string]float64{}
+		var superMsgs, superBytes, superNet, maxSend int64
+		for p := 0; p < parts; p++ {
+			w := workers[p]
+			superMsgs += w.sentMsgs
+			superBytes += w.sentBytes
+			superNet += w.netBytes
+			if w.sentBytes > maxSend {
+				maxSend = w.sentBytes
+			}
+			for k, x := range w.pendingAg {
+				agg[k] += x
+			}
+		}
+		if maxSend > st.PeakSendBytes {
+			st.PeakSendBytes = maxSend
+		}
+		if cfg.SendLimitPerNode > 0 && maxSend > cfg.SendLimitPerNode {
+			return nil, fmt.Errorf("pregel: superstep %d send buffer %d MB exceeds per-node budget %d MB: %w",
+				e.superstep, maxSend>>20, cfg.SendLimitPerNode>>20, cluster.ErrOutOfMemory)
+		}
+		// Deliver per destination partition in parallel; each
+		// destination partition drains all source outboxes in order.
+		var dwg sync.WaitGroup
+		inboxBytesPer := make([]int64, parts)
+		for dp := 0; dp < parts; dp++ {
+			dwg.Add(1)
+			go func(dp int) {
+				defer dwg.Done()
+				var bytes int64
+				for sp := 0; sp < parts; sp++ {
+					for _, env := range workers[sp].outbox[dp] {
+						if cfg.Combiner != nil && len(nextInbox[env.dst]) == 1 {
+							nextInbox[env.dst][0] = cfg.Combiner.Combine(nextInbox[env.dst][0], env.msg)
+						} else {
+							nextInbox[env.dst] = append(nextInbox[env.dst], env.msg)
+						}
+					}
+				}
+				for _, v := range members[dp] {
+					for _, m := range nextInbox[v] {
+						bytes += m.Size() + cfg.MessageEnvelope
+					}
+				}
+				inboxBytesPer[dp] = bytes
+			}(dp)
+		}
+		dwg.Wait()
+
+		var maxInbox, totalOps, maxOps int64
+		for p := 0; p < parts; p++ {
+			if inboxBytesPer[p] > maxInbox {
+				maxInbox = inboxBytesPer[p]
+			}
+			totalOps += partOps[p]
+			if partOps[p] > maxOps {
+				maxOps = partOps[p]
+			}
+		}
+		if maxInbox > st.PeakInboxBytes {
+			st.PeakInboxBytes = maxInbox
+		}
+		st.TotalMessages += superMsgs
+		st.TotalMsgBytes += superBytes
+		st.NetBytes += superNet
+		for p := 0; p < parts; p++ {
+			st.ComputeCalls += int64(len(members[p]))
+		}
+
+		if profile != nil {
+			profile.AddPhase(cluster.Phase{
+				Name: fmt.Sprintf("superstep-%d", e.superstep), Kind: cluster.PhaseCompute,
+				Ops: totalOps, MaxPartOps: scaleToWorkers(maxOps, totalOps, parts, hw.Workers()),
+				Net: superNet, Barriers: 1,
+			})
+			if cfg.CheckpointEvery > 0 && (e.superstep+1)%cfg.CheckpointEvery == 0 {
+				var stateBytes int64
+				for _, v := range e.values {
+					if v != nil {
+						stateBytes += v.Size()
+					}
+				}
+				var inflight int64
+				for p := 0; p < parts; p++ {
+					inflight += inboxBytesPer[p]
+				}
+				profile.AddPhase(cluster.Phase{
+					Name: fmt.Sprintf("checkpoint-%d", e.superstep), Kind: cluster.PhaseWrite,
+					DiskWrite: stateBytes + inflight, Barriers: 1,
+				})
+			}
+		}
+
+		inbox = nextInbox
+		e.aggPrev = agg
+		e.superstep++
+	}
+
+	st.Supersteps = e.superstep
+	if profile != nil {
+		profile.Iterations = e.superstep
+	}
+	return &Result{Values: e.values, Stats: st, Aggregators: e.aggPrev}, nil
+}
+
+// scaleToWorkers adjusts a per-partition max-ops figure when a node
+// has several cores: within a node, a partition's vertices are
+// processed by CoresPerNode threads.
+func scaleToWorkers(maxPart, total int64, parts, workers int) int64 {
+	if workers <= parts || maxPart == 0 {
+		return maxPart
+	}
+	cores := workers / parts
+	if cores < 1 {
+		cores = 1
+	}
+	scaled := maxPart / int64(cores)
+	mean := total / int64(workers)
+	if scaled < mean {
+		return mean
+	}
+	return scaled
+}
+
+// SortMessages orders messages deterministically by size; helper for
+// algorithms that need stable tie-breaking regardless of delivery
+// interleaving.
+func SortMessages(msgs []Message, less func(a, b Message) bool) {
+	sort.SliceStable(msgs, func(i, j int) bool { return less(msgs[i], msgs[j]) })
+}

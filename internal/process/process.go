@@ -1,0 +1,221 @@
+// Package process implements the paper's evaluation process (Section
+// 2.1): the three test types it selects — Load (stress) tests that put
+// an expected peak load on the system under test, Capacity tests that
+// grow the load or vary the system's capacity, and Exploratory tests
+// that probe whether the system can perform a task at all without
+// crashing — plus repetition with stability reporting ("we repeat each
+// experiment 10 times, and report the average results").
+package process
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+)
+
+// Runner executes a test specification against one platform.
+type Runner struct {
+	// Platform under test.
+	Platform platform.Platform
+	// Seed for generation and algorithm randomness.
+	Seed int64
+	// Scale is the extra dataset down-scaling factor (>= 1).
+	Scale int
+	// Repetitions per measurement (the paper uses 10).
+	Repetitions int
+
+	graphs map[string]*graph.Graph
+}
+
+// NewRunner returns a Runner with the paper's defaults.
+func NewRunner(p platform.Platform) *Runner {
+	return &Runner{Platform: p, Seed: 42, Scale: 1, Repetitions: 10}
+}
+
+func (r *Runner) scale() int {
+	if r.Scale < 1 {
+		return 1
+	}
+	return r.Scale
+}
+
+func (r *Runner) reps() int {
+	if r.Repetitions < 1 {
+		return 1
+	}
+	return r.Repetitions
+}
+
+// graph returns the cached generated dataset.
+func (r *Runner) graph(dataset string) (*graph.Graph, error) {
+	if g, ok := r.graphs[dataset]; ok {
+		return g, nil
+	}
+	prof, err := datagen.ByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	if r.graphs == nil {
+		r.graphs = make(map[string]*graph.Graph)
+	}
+	g := prof.GenerateScaled(r.scale(), r.Seed)
+	r.graphs[dataset] = g
+	return g, nil
+}
+
+// run executes one experiment with a per-repetition seed.
+func (r *Runner) run(alg, dataset string, hw cluster.Hardware, rep int) (*platform.Result, error) {
+	prof, err := datagen.ByName(dataset)
+	if err != nil {
+		return nil, err
+	}
+	g, err := r.graph(dataset)
+	if err != nil {
+		return nil, err
+	}
+	params := algo.DefaultParams(r.Seed + int64(rep))
+	params.BFSSource = algo.PickSource(g, r.Seed+int64(rep))
+	return r.Platform.Run(platform.Spec{
+		Algorithm: alg, Dataset: prof, G: g, HW: hw,
+		Params: params, WarmCache: true, ScaleFactor: r.scale(),
+	}), nil
+}
+
+// LoadResult is the outcome of a load test.
+type LoadResult struct {
+	Platform  string
+	Algorithm string
+	Dataset   string
+	// Sample summarises the repeated execution times.
+	Sample metrics.Sample
+	// Stable reports whether the variance stayed within the paper's
+	// observed bound ("the largest variance [is] 10%").
+	Stable bool
+	// Failures counts repetitions that did not complete.
+	Failures int
+}
+
+// LoadTest launches the expected peak load — one algorithm over one
+// dataset on a fixed cluster — Repetitions times and summarises the
+// execution times.
+func (r *Runner) LoadTest(alg, dataset string, hw cluster.Hardware) (*LoadResult, error) {
+	out := &LoadResult{Platform: r.Platform.Name(), Algorithm: alg, Dataset: dataset}
+	var times []float64
+	for rep := 0; rep < r.reps(); rep++ {
+		res, err := r.run(alg, dataset, hw, rep)
+		if err != nil {
+			return nil, err
+		}
+		if res.Status != platform.OK {
+			out.Failures++
+			continue
+		}
+		times = append(times, res.Seconds)
+	}
+	out.Sample = metrics.Summarize(times)
+	out.Stable = out.Sample.CV() <= 0.10
+	return out, nil
+}
+
+// CapacityPoint is one step of a capacity test.
+type CapacityPoint struct {
+	Nodes, Cores int
+	Dataset      string
+	Status       platform.Status
+	Seconds      float64
+	NEPS         float64
+}
+
+// CapacityByCluster keeps the load fixed and varies the capacity of
+// the distributed system (the horizontal/vertical scalability tests of
+// Section 4.3).
+func (r *Runner) CapacityByCluster(alg, dataset string, clusters []cluster.Hardware) ([]CapacityPoint, error) {
+	var out []CapacityPoint
+	for _, hw := range clusters {
+		res, err := r.run(alg, dataset, hw, 0)
+		if err != nil {
+			return nil, err
+		}
+		pt := CapacityPoint{Nodes: hw.Nodes, Cores: hw.CoresPerNode, Dataset: dataset,
+			Status: res.Status, Seconds: res.Seconds}
+		if res.Status == platform.OK {
+			pt.NEPS = metrics.NEPS(r.paperEdges(dataset), res.Seconds, hw.Nodes, hw.CoresPerNode)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// CapacityByDataset keeps the cluster fixed and increases the load by
+// changing the input dataset (smallest to largest).
+func (r *Runner) CapacityByDataset(alg string, datasets []string, hw cluster.Hardware) ([]CapacityPoint, error) {
+	var out []CapacityPoint
+	for _, ds := range datasets {
+		res, err := r.run(alg, ds, hw, 0)
+		if err != nil {
+			return nil, err
+		}
+		pt := CapacityPoint{Nodes: hw.Nodes, Cores: hw.CoresPerNode, Dataset: ds,
+			Status: res.Status, Seconds: res.Seconds}
+		if res.Status == platform.OK {
+			pt.NEPS = metrics.NEPS(r.paperEdges(ds), res.Seconds, hw.Nodes, hw.CoresPerNode)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ExploratoryResult records whether the system could perform each task
+// at all.
+type ExploratoryResult struct {
+	Algorithm string
+	Dataset   string
+	Status    platform.Status
+	Reason    string
+}
+
+// ExploratoryTest probes the capacity of the system to perform its
+// task without crashing, across the full algorithm/dataset matrix. It
+// produces the crash matrix of Sections 4.1.2-4.1.3.
+func (r *Runner) ExploratoryTest(hw cluster.Hardware) ([]ExploratoryResult, error) {
+	var out []ExploratoryResult
+	for _, ds := range datagen.Names() {
+		for _, alg := range platform.Algorithms() {
+			res, err := r.run(alg, ds, hw, 0)
+			if err != nil {
+				return nil, err
+			}
+			er := ExploratoryResult{Algorithm: alg, Dataset: ds, Status: res.Status}
+			if res.Err != nil {
+				er.Reason = res.Err.Error()
+			}
+			out = append(out, er)
+		}
+	}
+	return out, nil
+}
+
+// Summary renders a one-line report for a load test.
+func (l *LoadResult) Summary() string {
+	return fmt.Sprintf("%s/%s/%s: T=%.1fs (min %.1f, max %.1f, cv %.1f%%, %d reps, %d failures, stable=%v)",
+		l.Platform, l.Algorithm, l.Dataset,
+		l.Sample.Mean, l.Sample.Min, l.Sample.Max, 100*l.Sample.CV(),
+		l.Sample.N, l.Failures, l.Stable)
+}
+
+func (r *Runner) paperEdges(dataset string) int64 {
+	prof, err := datagen.ByName(dataset)
+	if err != nil {
+		return 0
+	}
+	g, err := r.graph(dataset)
+	if err != nil {
+		return 0
+	}
+	return g.NumEdges() * int64(prof.EDivisor*r.scale())
+}

@@ -1,0 +1,131 @@
+package process
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/platform"
+)
+
+func giraphRunner() *Runner {
+	p, _ := platform.ByName("Giraph")
+	r := NewRunner(p)
+	r.Scale = 40
+	r.Repetitions = 3
+	return r
+}
+
+func TestLoadTestStability(t *testing.T) {
+	r := giraphRunner()
+	res, err := r.LoadTest(platform.BFS, "KGS", cluster.DAS4(20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sample.N != 3 {
+		t.Fatalf("N = %d, want 3 repetitions", res.Sample.N)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	// The paper observes at most 10% variance; the simulated platform
+	// should be comfortably stable.
+	if !res.Stable {
+		t.Fatalf("unstable: cv = %.3f", res.Sample.CV())
+	}
+	if !strings.Contains(res.Summary(), "Giraph/BFS/KGS") {
+		t.Fatalf("summary = %q", res.Summary())
+	}
+}
+
+func TestLoadTestCountsFailures(t *testing.T) {
+	r := giraphRunner()
+	// Giraph STATS on WikiTalk crashes (paper); every repetition fails.
+	res, err := r.LoadTest(platform.STATS, "WikiTalk", cluster.DAS4(20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 3 || res.Sample.N != 0 {
+		t.Fatalf("failures = %d, N = %d", res.Failures, res.Sample.N)
+	}
+}
+
+func TestCapacityByCluster(t *testing.T) {
+	p, _ := platform.ByName("Hadoop")
+	r := NewRunner(p)
+	r.Scale = 40
+	r.Repetitions = 1
+	var clusters []cluster.Hardware
+	for _, n := range []int{20, 35, 50} {
+		clusters = append(clusters, cluster.DAS4(n, 1))
+	}
+	pts, err := r.CapacityByCluster(platform.BFS, "Friendster", clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Status != platform.OK || pts[2].Status != platform.OK {
+		t.Fatalf("statuses: %+v", pts)
+	}
+	// More machines: faster (Friendster scales horizontally) but lower
+	// NEPS (paper Section 4.3.1).
+	if pts[2].Seconds >= pts[0].Seconds {
+		t.Fatalf("no scaling: %v", pts)
+	}
+	if pts[2].NEPS >= pts[0].NEPS {
+		t.Fatalf("NEPS should fall with cluster size: %v", pts)
+	}
+}
+
+func TestCapacityByDataset(t *testing.T) {
+	p, _ := platform.ByName("Giraph")
+	r := NewRunner(p)
+	r.Scale = 40
+	pts, err := r.CapacityByDataset(platform.BFS, []string{"Amazon", "KGS"}, cluster.DAS4(20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Dataset != "Amazon" {
+		t.Fatalf("points: %+v", pts)
+	}
+}
+
+func TestExploratoryMatrix(t *testing.T) {
+	r := giraphRunner()
+	out, err := r.ExploratoryTest(cluster.DAS4(20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 35 { // 7 datasets x 5 algorithms
+		t.Fatalf("results = %d, want 35", len(out))
+	}
+	crashes := 0
+	byKey := map[string]platform.Status{}
+	for _, e := range out {
+		byKey[e.Dataset+"/"+e.Algorithm] = e.Status
+		if e.Status == platform.Crashed {
+			crashes++
+			if e.Reason == "" {
+				t.Fatalf("%s/%s: crash without reason", e.Dataset, e.Algorithm)
+			}
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("exploratory test should surface the paper's crashes")
+	}
+	if byKey["WikiTalk/STATS"] != platform.Crashed {
+		t.Fatalf("WikiTalk/STATS = %v", byKey["WikiTalk/STATS"])
+	}
+	if byKey["Friendster/EVO"] != platform.OK {
+		t.Fatalf("Friendster/EVO = %v", byKey["Friendster/EVO"])
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	r := giraphRunner()
+	if _, err := r.LoadTest(platform.BFS, "Twitter", cluster.DAS4(4, 1)); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

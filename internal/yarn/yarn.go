@@ -1,0 +1,146 @@
+// Package yarn models Hadoop NextGen (YARN, hadoop-2.0.3-alpha in the
+// paper): a ResourceManager that hands out containers and a
+// per-application ApplicationMaster that runs the actual MapReduce job
+// — the paper's key architectural note is that YARN "separates
+// functionally resource management and job management" while executing
+// unmodified MapReduce jobs. Execution therefore reuses the mapreduce
+// engine; what differs is the scheduling layer (container requests,
+// allocation caps) and the cheaper container startup reflected in the
+// YARN cost model.
+package yarn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+)
+
+// DefaultMaxAllocation is the paper's maximum container request at the
+// ResourceManager (20 GB).
+const DefaultMaxAllocation = 20 << 30
+
+// ResourceManager owns the cluster's containers.
+type ResourceManager struct {
+	hw cluster.Hardware
+	fs *hdfs.FS
+
+	// MaxAllocation caps a single container request.
+	MaxAllocation int64
+
+	mu        sync.Mutex
+	nextAppID int
+	allocated int64 // bytes currently granted
+	apps      map[string]*ApplicationMaster
+}
+
+// NewResourceManager creates a ResourceManager for the cluster.
+func NewResourceManager(hw cluster.Hardware, fs *hdfs.FS) *ResourceManager {
+	return &ResourceManager{
+		hw: hw, fs: fs,
+		MaxAllocation: DefaultMaxAllocation,
+		apps:          make(map[string]*ApplicationMaster),
+	}
+}
+
+// Capacity returns the cluster's total container memory.
+func (rm *ResourceManager) Capacity() int64 {
+	return int64(rm.hw.Nodes) * rm.hw.MemPerNode
+}
+
+// Submit registers an application and launches its ApplicationMaster
+// in a container of amMemory bytes.
+func (rm *ResourceManager) Submit(name string, amMemory int64) (*ApplicationMaster, error) {
+	if amMemory <= 0 {
+		amMemory = 1 << 30
+	}
+	if amMemory > rm.MaxAllocation {
+		return nil, fmt.Errorf("yarn: AM container %d exceeds maximum allocation %d", amMemory, rm.MaxAllocation)
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if rm.allocated+amMemory > rm.Capacity() {
+		return nil, fmt.Errorf("yarn: cluster out of container memory")
+	}
+	rm.allocated += amMemory
+	rm.nextAppID++
+	id := fmt.Sprintf("application_%04d", rm.nextAppID)
+	am := &ApplicationMaster{
+		ID: id, Name: name, rm: rm, memory: amMemory,
+		engine: mapreduce.New(rm.hw, rm.fs),
+	}
+	rm.apps[id] = am
+	return am, nil
+}
+
+// Running returns the number of live applications.
+func (rm *ResourceManager) Running() int {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return len(rm.apps)
+}
+
+// Allocated returns currently granted container memory.
+func (rm *ResourceManager) Allocated() int64 {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return rm.allocated
+}
+
+// ApplicationMaster manages one application's containers and runs its
+// MapReduce jobs.
+type ApplicationMaster struct {
+	ID   string
+	Name string
+
+	rm     *ResourceManager
+	engine *mapreduce.Engine
+	memory int64 // AM + task containers
+
+	mu       sync.Mutex
+	finished bool
+}
+
+// Engine exposes the MapReduce engine executing inside this
+// application's containers; the profile it accumulates is the
+// application's execution record.
+func (am *ApplicationMaster) Engine() *mapreduce.Engine { return am.engine }
+
+// RequestContainers asks the RM for n task containers of the given
+// size, as the MapReduce AM does for map and reduce waves.
+func (am *ApplicationMaster) RequestContainers(n int, bytes int64) error {
+	if bytes > am.rm.MaxAllocation {
+		return fmt.Errorf("yarn: container request %d exceeds maximum allocation %d", bytes, am.rm.MaxAllocation)
+	}
+	total := int64(n) * bytes
+	am.rm.mu.Lock()
+	defer am.rm.mu.Unlock()
+	if am.rm.allocated+total > am.rm.Capacity() {
+		return fmt.Errorf("yarn: cluster out of container memory (%d requested, %d free)",
+			total, am.rm.Capacity()-am.rm.allocated)
+	}
+	am.rm.allocated += total
+	am.mu.Lock()
+	am.memory += total
+	am.mu.Unlock()
+	return nil
+}
+
+// Finish releases the application's containers.
+func (am *ApplicationMaster) Finish() {
+	am.mu.Lock()
+	if am.finished {
+		am.mu.Unlock()
+		return
+	}
+	am.finished = true
+	mem := am.memory
+	am.mu.Unlock()
+
+	am.rm.mu.Lock()
+	am.rm.allocated -= mem
+	delete(am.rm.apps, am.ID)
+	am.rm.mu.Unlock()
+}

@@ -1,0 +1,125 @@
+package yarn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+)
+
+func newRM() *ResourceManager {
+	return NewResourceManager(cluster.DAS4(4, 1), hdfs.New())
+}
+
+func TestSubmitAndFinish(t *testing.T) {
+	rm := newRM()
+	am, err := rm.Submit("bfs", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(am.ID, "application_") {
+		t.Fatalf("ID = %q", am.ID)
+	}
+	if rm.Running() != 1 || rm.Allocated() != 1<<30 {
+		t.Fatalf("running=%d allocated=%d", rm.Running(), rm.Allocated())
+	}
+	am.Finish()
+	if rm.Running() != 0 || rm.Allocated() != 0 {
+		t.Fatalf("after finish: running=%d allocated=%d", rm.Running(), rm.Allocated())
+	}
+	am.Finish() // idempotent
+	if rm.Allocated() != 0 {
+		t.Fatal("double Finish released twice")
+	}
+}
+
+func TestMaxAllocationEnforced(t *testing.T) {
+	rm := newRM()
+	if _, err := rm.Submit("big", DefaultMaxAllocation+1); err == nil {
+		t.Fatal("oversized AM container accepted")
+	}
+	am, err := rm.Submit("ok", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := am.RequestContainers(1, DefaultMaxAllocation+1); err == nil {
+		t.Fatal("oversized task container accepted")
+	}
+}
+
+func TestCapacityExhaustion(t *testing.T) {
+	rm := newRM() // 4 nodes x 20 GB = 80 GB
+	am, err := rm.Submit("app", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := am.RequestContainers(5, 15<<30); err != nil { // 75 GB more = 76 total
+		t.Fatal(err)
+	}
+	if err := am.RequestContainers(1, 10<<30); err == nil {
+		t.Fatal("over-capacity request accepted")
+	}
+	am.Finish()
+	if rm.Allocated() != 0 {
+		t.Fatalf("allocated = %d after finish", rm.Allocated())
+	}
+}
+
+func TestEngineRunsJobs(t *testing.T) {
+	rm := newRM()
+	am, err := rm.Submit("sum", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer am.Finish()
+
+	in := mapreduce.Dataset{}
+	for i := 0; i < 30; i++ {
+		in = append(in, mapreduce.KV{Key: int64(i), Value: unit{}})
+	}
+	cfg := mapreduce.JobConfig{
+		Name: "count",
+		Mapper: mapreduce.MapperFunc(func(k int64, v mapreduce.Value, out *mapreduce.Emitter) {
+			out.Emit(0, v)
+		}),
+		Reducer: mapreduce.ReducerFunc(func(k int64, vals []mapreduce.Value, out *mapreduce.Emitter) {
+			out.Incr("n", int64(len(vals)))
+		}),
+	}
+	_, stats, err := am.Engine().Run(cfg, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Counters.Get("n") != 30 {
+		t.Fatalf("n = %d", stats.Counters.Get("n"))
+	}
+	if len(am.Engine().Profile.Phases) == 0 {
+		t.Fatal("no profile recorded")
+	}
+}
+
+type unit struct{}
+
+func (unit) Size() int64 { return 1 }
+
+func TestMultipleApplications(t *testing.T) {
+	rm := newRM()
+	a, err := rm.Submit("a", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rm.Submit("b", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Fatal("duplicate application IDs")
+	}
+	if rm.Running() != 2 {
+		t.Fatalf("running = %d", rm.Running())
+	}
+	a.Finish()
+	b.Finish()
+}
