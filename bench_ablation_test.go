@@ -84,6 +84,7 @@ func minLabelMRJob(withCombiner bool) mapreduce.JobConfig {
 // BenchmarkAblationHadoopCombiner measures how much a combiner shrinks
 // the CONN shuffle (Hadoop tuning, Section 3.1).
 func BenchmarkAblationHadoopCombiner(b *testing.B) {
+	b.ReportAllocs()
 	g := ablationGraph(b, "KGS")
 	input := make(mapreduce.Dataset, g.NumVertices())
 	for v := 0; v < g.NumVertices(); v++ {
@@ -115,6 +116,7 @@ func BenchmarkAblationHadoopCombiner(b *testing.B) {
 // network channels against forced file channels (Hadoop-style
 // materialisation) for one CONN round.
 func BenchmarkAblationStratosphereChannels(b *testing.B) {
+	b.ReportAllocs()
 	g := ablationGraph(b, "KGS")
 	input := make(dataflow.Dataset, g.NumVertices())
 	for v := 0; v < g.NumVertices(); v++ {
@@ -166,6 +168,7 @@ func ptr[T any](x T) *T { return &x }
 // BenchmarkAblationGiraphCombiner measures the message-combiner's
 // effect on Giraph's peak inbox for CONN.
 func BenchmarkAblationGiraphCombiner(b *testing.B) {
+	b.ReportAllocs()
 	g := ablationGraph(b, "KGS")
 	hw := cluster.DAS4(20, 1)
 	for _, withCombiner := range []bool{false, true} {
@@ -222,6 +225,7 @@ func (minLabelCombiner) Combine(a, b pregel.Message) pregel.Message {
 // BenchmarkAblationGraphLabLoading compares the single-file loader
 // against GraphLab(mp)'s pre-split loading (Section 4.3.1's fix).
 func BenchmarkAblationGraphLabLoading(b *testing.B) {
+	b.ReportAllocs()
 	g := ablationGraph(b, "Friendster")
 	hw := cluster.DAS4(20, 1)
 	inputBytes := graph.TextSize(g)
@@ -249,6 +253,7 @@ func BenchmarkAblationGraphLabLoading(b *testing.B) {
 // (Giraph's dynamic computation) against recomputing every vertex
 // every superstep, the behaviour the generic platforms are stuck with.
 func BenchmarkAblationGiraphDynamicComputation(b *testing.B) {
+	b.ReportAllocs()
 	g := ablationGraph(b, "Amazon")
 	hw := cluster.DAS4(20, 1)
 	src := algo.PickSource(g, 42)
@@ -305,6 +310,7 @@ func BenchmarkAblationGiraphDynamicComputation(b *testing.B) {
 // the hot-run disk misses on a graph that stops fitting (the paper's
 // Synth collapse).
 func BenchmarkAblationNeo4jCacheSize(b *testing.B) {
+	b.ReportAllocs()
 	g := ablationGraph(b, "Synth")
 	for _, heapGB := range []int64{1, 4, 20} {
 		b.Run(fmt.Sprintf("heapGB=%d", heapGB), func(b *testing.B) {
@@ -334,6 +340,7 @@ func BenchmarkAblationNeo4jCacheSize(b *testing.B) {
 // engine (the paper's mode) against the asynchronous engine on CONN
 // convergence work.
 func BenchmarkAblationGasSyncVsAsync(b *testing.B) {
+	b.ReportAllocs()
 	g := ablationGraph(b, "KGS")
 	hw := cluster.DAS4(20, 1)
 	cfg := gas.Config{
@@ -397,6 +404,7 @@ func (connMinProgram) Scatter(v, dst graph.VertexID, newVal, dstVal gas.Value) b
 // BenchmarkAblationGiraphCheckpointing measures the simulated cost of
 // Giraph's periodic fault-tolerance checkpoints.
 func BenchmarkAblationGiraphCheckpointing(b *testing.B) {
+	b.ReportAllocs()
 	g := ablationGraph(b, "KGS")
 	hw := cluster.DAS4(20, 1)
 	for _, every := range []int{0, 1, 5} {
@@ -450,6 +458,7 @@ func pregelBFSConfig(src graph.VertexID) pregel.Config {
 // the paper configures 1.5 GB so its jobs never spill; smaller buffers
 // pay extra disk I/O.
 func BenchmarkAblationHadoopSortBuffer(b *testing.B) {
+	b.ReportAllocs()
 	g := ablationGraph(b, "KGS")
 	input := make(mapreduce.Dataset, g.NumVertices())
 	for v := 0; v < g.NumVertices(); v++ {

@@ -48,6 +48,7 @@ func report(b *testing.B, key string, render func() string) {
 }
 
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Table2()
@@ -56,6 +57,7 @@ func BenchmarkTable2(b *testing.B) {
 }
 
 func BenchmarkTable5(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Table5()
@@ -64,6 +66,7 @@ func BenchmarkTable5(b *testing.B) {
 }
 
 func BenchmarkTable6(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Table6()
@@ -72,6 +75,7 @@ func BenchmarkTable6(b *testing.B) {
 }
 
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure1()
@@ -80,6 +84,7 @@ func BenchmarkFigure1(b *testing.B) {
 }
 
 func BenchmarkFigure2(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		eps, vps := h.Figure2()
@@ -88,6 +93,7 @@ func BenchmarkFigure2(b *testing.B) {
 }
 
 func BenchmarkFigure3(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure3()
@@ -96,6 +102,7 @@ func BenchmarkFigure3(b *testing.B) {
 }
 
 func BenchmarkFigure4(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure4()
@@ -104,6 +111,7 @@ func BenchmarkFigure4(b *testing.B) {
 }
 
 func BenchmarkFigures5to7(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figures5to7()
@@ -112,6 +120,7 @@ func BenchmarkFigures5to7(b *testing.B) {
 }
 
 func BenchmarkFigures8to10(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figures8to10()
@@ -120,6 +129,7 @@ func BenchmarkFigures8to10(b *testing.B) {
 }
 
 func BenchmarkFigure11Friendster(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure11("Friendster")
@@ -128,6 +138,7 @@ func BenchmarkFigure11Friendster(b *testing.B) {
 }
 
 func BenchmarkFigure11DotaLeague(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure11("DotaLeague")
@@ -136,6 +147,7 @@ func BenchmarkFigure11DotaLeague(b *testing.B) {
 }
 
 func BenchmarkFigure12Friendster(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure12("Friendster")
@@ -144,6 +156,7 @@ func BenchmarkFigure12Friendster(b *testing.B) {
 }
 
 func BenchmarkFigure12DotaLeague(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure12("DotaLeague")
@@ -152,6 +165,7 @@ func BenchmarkFigure12DotaLeague(b *testing.B) {
 }
 
 func BenchmarkFigure13Friendster(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure13("Friendster")
@@ -160,6 +174,7 @@ func BenchmarkFigure13Friendster(b *testing.B) {
 }
 
 func BenchmarkFigure13DotaLeague(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure13("DotaLeague")
@@ -168,6 +183,7 @@ func BenchmarkFigure13DotaLeague(b *testing.B) {
 }
 
 func BenchmarkFigure14Friendster(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure14("Friendster")
@@ -176,6 +192,7 @@ func BenchmarkFigure14Friendster(b *testing.B) {
 }
 
 func BenchmarkFigure14DotaLeague(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure14("DotaLeague")
@@ -184,6 +201,7 @@ func BenchmarkFigure14DotaLeague(b *testing.B) {
 }
 
 func BenchmarkFigure15(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure15()
@@ -192,6 +210,7 @@ func BenchmarkFigure15(b *testing.B) {
 }
 
 func BenchmarkFigure16(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		t := h.Figure16()

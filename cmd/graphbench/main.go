@@ -28,6 +28,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/monitor"
+	"repro/internal/perf"
 	"repro/internal/platform"
 	"repro/internal/process"
 )
@@ -135,6 +136,18 @@ func main() {
 		default:
 			fmt.Println("prediction: feasible")
 		}
+	case "bench-baseline":
+		need(args, 2)
+		phase := args[1]
+		out := "BENCH_pr2.json"
+		if len(args) > 2 {
+			out = args[2]
+		}
+		bl, err := perf.WriteBaseline(out, phase)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s (%s)\n\n%s", out, phase, bl.Summary())
 	case "all":
 		for _, t := range []string{"2", "3", "4", "5", "6", "7", "8"} {
 			printTable(h, t)
@@ -235,6 +248,7 @@ func usage() {
   graphbench [flags] explore <platform>
   graphbench [flags] loadtest <platform> <algorithm> <dataset>
   graphbench [flags] predict <platform> <algorithm> <dataset>
+  graphbench bench-baseline <before|after> [file]
   graphbench [flags] all
 
 platforms:  Hadoop YARN Stratosphere Giraph GraphLab GraphLab(mp) Neo4j

@@ -10,9 +10,10 @@
 package dataflow
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/cluster"
@@ -447,7 +448,7 @@ func joinParts(n *Node, left, right Dataset, c *Collector) int64 {
 			keys = append(keys, k)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	for _, k := range keys {
 		ops += int64(len(leftByKey[k]) + len(rightByKey[k]) + 1)
 		n.coGroupFn(k, leftByKey[k], rightByKey[k], c)
@@ -461,8 +462,9 @@ func groupApply(part Dataset, fn func(key int64, group []Record)) int64 {
 	if len(part) == 0 {
 		return 0
 	}
+	// Copy before sorting: DAG inputs are shared by several consumers.
 	sorted := append(Dataset(nil), part...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	slices.SortStableFunc(sorted, func(a, b Record) int { return cmp.Compare(a.Key, b.Key) })
 	var ops int64
 	for i := 0; i < len(sorted); {
 		j := i
@@ -478,8 +480,20 @@ func groupApply(part Dataset, fn func(key int64, group []Record)) int64 {
 	return ops
 }
 
+// partition splits records by key hash. Two counting passes share one
+// exactly-sized backing array instead of growing par slices by append.
 func partition(d Dataset, par int) []Dataset {
+	counts := make([]int, par)
+	for _, r := range d {
+		counts[int(uint64(r.Key)%uint64(par))]++
+	}
+	backing := make(Dataset, 0, len(d))
 	parts := make([]Dataset, par)
+	off := 0
+	for p := 0; p < par; p++ {
+		parts[p] = backing[off:off:off+counts[p]]
+		off += counts[p]
+	}
 	for _, r := range d {
 		p := int(uint64(r.Key) % uint64(par))
 		parts[p] = append(parts[p], r)
@@ -488,7 +502,11 @@ func partition(d Dataset, par int) []Dataset {
 }
 
 func flatten(parts []Dataset) Dataset {
-	var out Dataset
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make(Dataset, 0, total)
 	for _, p := range parts {
 		out = append(out, p...)
 	}

@@ -1,0 +1,50 @@
+package gas
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// churnProgram keeps every vertex active every iteration without
+// allocating in user code: values pass through Apply unchanged and
+// Scatter signals every neighbour.
+type churnProgram struct{}
+
+func (churnProgram) Gather(src, v graph.VertexID, srcVal, vVal Value) Accum { return nil }
+func (churnProgram) Sum(a, b Accum) Accum                                   { return a }
+func (churnProgram) Apply(v graph.VertexID, old Value, acc Accum) Value     { return old }
+func (churnProgram) Scatter(v, dst graph.VertexID, newVal, dstVal Value) bool {
+	return true
+}
+
+// TestIterationAllocCeiling pins the engine's per-iteration allocation
+// count: with double-buffered value/active arrays and per-worker
+// scratch, the steady-state cost per iteration is a few bookkeeping
+// allocations, independent of the vertex count.
+func TestIterationAllocCeiling(t *testing.T) {
+	g := ringGraph(256)
+	hw := cluster.DAS4(4, 1)
+	run := func(iters int) func() {
+		return func() {
+			cfg := Config{
+				Program:       churnProgram{},
+				MaxIterations: iters,
+				InitialValue:  func(v graph.VertexID) Value { return i64(1) },
+			}
+			if _, err := Run(g, hw, cfg, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	short := testing.AllocsPerRun(5, run(2))
+	long := testing.AllocsPerRun(5, run(12))
+	perIter := (long - short) / 10
+
+	const ceiling = 16.0
+	if perIter > ceiling {
+		t.Fatalf("allocs per iteration = %.1f, want <= %.1f (short=%.0f long=%.0f)",
+			perIter, ceiling, short, long)
+	}
+}

@@ -90,6 +90,7 @@ func RunAsync(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.
 	// rounds do.
 	budget := int64(n) * int64(maxIterOr(cfg.MaxIterations, 1<<20))
 	updates := int64(0)
+	var both []graph.VertexID // reused bothNeighbors scratch
 
 	for len(queue) > 0 && updates < budget {
 		v := queue[0]
@@ -100,7 +101,8 @@ func RunAsync(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.
 		var acc Accum
 		gatherFrom := g.In(v)
 		if cfg.GatherBoth && g.Directed() {
-			gatherFrom = bothNeighbors(g, v)
+			both = bothNeighborsInto(g, v, both[:0])
+			gatherFrom = both
 		}
 		for _, u := range gatherFrom {
 			a := cfg.Program.Gather(u, v, values[u], values[v])
@@ -128,7 +130,8 @@ func RunAsync(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.
 		}
 		scatterTo := g.Out(v)
 		if cfg.ScatterBoth && g.Directed() {
-			scatterTo = bothNeighbors(g, v)
+			both = bothNeighborsInto(g, v, both[:0])
+			scatterTo = both
 		}
 		for _, dst := range scatterTo {
 			st.ScatterEdges++

@@ -111,8 +111,12 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		}
 	}
 	active := make([]bool, n)
+	var activeCount int
 	for v := range active {
 		active[v] = cfg.InitiallyActive == nil || cfg.InitiallyActive(graph.VertexID(v))
+		if active[v] {
+			activeCount++
+		}
 	}
 
 	// ---- Vertex-cut partitioning (for replication accounting) ------
@@ -157,33 +161,40 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		return v.Size()
 	}
 
+	// Double-buffered per-run state, allocated once and reused every
+	// iteration: the next active set, the new value array, the global
+	// per-machine op counters, and per-worker scratch (op counters,
+	// signalled list, bothNeighbors buffer).
+	nextActive := make([]bool, n)
+	newValues := make([]Value, n)
+	partOps := make([]int64, hw.Nodes)
+	nWorkers := maxChunks(n)
+	scratch := make([]workerScratch, nWorkers)
+	for w := range scratch {
+		scratch[w].partOps = make([]int64, hw.Nodes)
+	}
+
 	for {
 		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
 			break
 		}
-		anyActive := false
-		for _, a := range active {
-			if a {
-				anyActive = true
-				break
-			}
-		}
-		if !anyActive {
+		if activeCount == 0 {
 			break
 		}
 
-		nextActive := make([]bool, n)
-		newValues := make([]Value, n)
 		copy(newValues, values)
+		clear(partOps)
+		activeCount = 0 // recounted from signalled vertices below
 
 		var mu sync.Mutex
 		var gatherEdges, scatterEdges, applyCalls, netBytes int64
-		partOps := make([]int64, hw.Nodes)
 
-		parallelVertices(n, func(lo, hi int) {
+		parallelVertices(n, func(w, lo, hi int) {
 			var lg, ls, la, lnet, lops int64
-			localPartOps := make([]int64, hw.Nodes)
-			var signalled []graph.VertexID
+			sc := &scratch[w]
+			localPartOps := sc.partOps
+			clear(localPartOps)
+			signalled := sc.signalled[:0]
 			for vi := lo; vi < hi; vi++ {
 				if !active[vi] {
 					continue
@@ -194,7 +205,8 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 				var acc Accum
 				gatherFrom := g.In(v)
 				if cfg.GatherBoth && g.Directed() {
-					gatherFrom = bothNeighbors(g, v)
+					sc.both = bothNeighborsInto(g, v, sc.both[:0])
+					gatherFrom = sc.both
 				}
 				for _, u := range gatherFrom {
 					a := cfg.Program.Gather(u, v, values[u], values[v])
@@ -229,7 +241,8 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 				// ScatterBoth on directed graphs).
 				scatterTo := g.Out(v)
 				if cfg.ScatterBoth && g.Directed() {
-					scatterTo = bothNeighbors(g, v)
+					sc.both = bothNeighborsInto(g, v, sc.both[:0])
+					scatterTo = sc.both
 				}
 				for _, dst := range scatterTo {
 					ls++
@@ -241,6 +254,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 				localPartOps[int(v)%hw.Nodes] += lops
 				lops = 0
 			}
+			sc.signalled = signalled
 			mu.Lock()
 			gatherEdges += lg
 			scatterEdges += ls
@@ -250,7 +264,10 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 				partOps[i] += o
 			}
 			for _, dst := range signalled {
-				nextActive[dst] = true
+				if !nextActive[dst] {
+					nextActive[dst] = true
+					activeCount++
+				}
 			}
 			mu.Unlock()
 		})
@@ -276,8 +293,9 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 			})
 		}
 
-		values = newValues
-		active = nextActive
+		values, newValues = newValues, values
+		active, nextActive = nextActive, active
+		clear(nextActive)
 		iter++
 		if cfg.AfterIteration != nil && cfg.AfterIteration(iter-1, values) {
 			break
@@ -310,13 +328,19 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 	return &Result{Values: values, Stats: st}, nil
 }
 
-// bothNeighbors returns out+in adjacency of a directed vertex.
-func bothNeighbors(g *graph.Graph, v graph.VertexID) []graph.VertexID {
-	out, in := g.Out(v), g.In(v)
-	all := make([]graph.VertexID, 0, len(out)+len(in))
-	all = append(all, out...)
-	all = append(all, in...)
-	return all
+// workerScratch is per-worker reusable iteration state.
+type workerScratch struct {
+	partOps   []int64
+	signalled []graph.VertexID
+	both      []graph.VertexID
+}
+
+// bothNeighborsInto appends out+in adjacency of a directed vertex to
+// buf (normally buf[:0] of a reused scratch slice) and returns it.
+func bothNeighborsInto(g *graph.Graph, v graph.VertexID, buf []graph.VertexID) []graph.VertexID {
+	buf = append(buf, g.Out(v)...)
+	buf = append(buf, g.In(v)...)
+	return buf
 }
 
 // measureReplication assigns each edge to a machine by hash (random
@@ -374,29 +398,42 @@ func perWorkerMax(maxNode, total int64, hw cluster.Hardware) int64 {
 	return scaled
 }
 
-// parallelVertices splits [0, n) into contiguous chunks processed on
-// up to GOMAXPROCS goroutines.
-func parallelVertices(n int, fn func(lo, hi int)) {
+// maxChunks reports how many chunks parallelVertices will use for n
+// vertices, so callers can size per-worker scratch.
+func maxChunks(n int) int {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelVertices splits [0, n) into contiguous chunks processed on
+// up to GOMAXPROCS goroutines. fn receives the chunk (worker) index so
+// callers can hand each chunk its own reusable scratch.
+func parallelVertices(n int, fn func(w, lo, hi int)) {
+	workers := maxChunks(n)
 	if workers <= 1 {
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
+	w := 0
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			fn(w, lo, hi)
+		}(w, lo, hi)
+		w++
 	}
 	wg.Wait()
 }

@@ -1,6 +1,11 @@
 package graph
 
-import "sort"
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // LCC returns the local clustering coefficient of v: the number of
 // edges among v's neighbours divided by the number of possible such
@@ -8,7 +13,13 @@ import "sort"
 // the neighbourhood and count directed arcs among them, following the
 // STATS algorithm in the paper (Algorithm 1).
 func (g *Graph) LCC(v VertexID) float64 {
-	nbrs := g.neighbourhood(v)
+	var buf []VertexID
+	return g.lccInto(v, &buf)
+}
+
+// lccInto is LCC with a caller-owned neighbourhood scratch buffer.
+func (g *Graph) lccInto(v VertexID, buf *[]VertexID) float64 {
+	nbrs := g.neighbourhoodInto(v, buf)
 	k := len(nbrs)
 	if k < 2 {
 		return 0
@@ -26,26 +37,39 @@ func (g *Graph) LCC(v VertexID) float64 {
 }
 
 // AvgLCC returns the average local clustering coefficient over all
-// vertices, as computed by STATS.
+// vertices, as computed by STATS. Vertices are processed in fixed-size
+// chunks on up to GOMAXPROCS workers; per-chunk partial sums are
+// reduced in chunk order, so the result does not depend on the worker
+// count.
 func (g *Graph) AvgLCC() float64 {
 	if g.n == 0 {
 		return 0
 	}
+	sums := make([]float64, numChunks(int(g.n)))
+	parallelChunks(int(g.n), func(ci, lo, hi int, buf *[]VertexID) {
+		s := 0.0
+		for v := lo; v < hi; v++ {
+			s += g.lccInto(VertexID(v), buf)
+		}
+		sums[ci] = s
+	})
 	sum := 0.0
-	for v := VertexID(0); v < VertexID(g.n); v++ {
-		sum += g.LCC(v)
+	for _, s := range sums {
+		sum += s
 	}
 	return sum / float64(g.n)
 }
 
-// neighbourhood returns the sorted distinct neighbours of v (union of
-// in and out for directed graphs), excluding v itself.
-func (g *Graph) neighbourhood(v VertexID) []VertexID {
+// neighbourhoodInto returns the sorted distinct neighbours of v (union
+// of in and out for directed graphs). Undirected graphs return the CSR
+// adjacency directly; directed graphs merge into *buf, which is grown
+// and reused across calls.
+func (g *Graph) neighbourhoodInto(v VertexID, buf *[]VertexID) []VertexID {
 	if !g.directed {
 		return g.Out(v)
 	}
 	out, in := g.Out(v), g.In(v)
-	merged := make([]VertexID, 0, len(out)+len(in))
+	merged := (*buf)[:0]
 	i, j := 0, 0
 	for i < len(out) || j < len(in) {
 		switch {
@@ -61,6 +85,7 @@ func (g *Graph) neighbourhood(v VertexID) []VertexID {
 			j++
 		}
 	}
+	*buf = merged
 	return merged
 }
 
@@ -84,69 +109,149 @@ func countIntersect(a, b []VertexID) int {
 }
 
 // Triangles returns the total number of triangles in an undirected
-// graph. Panics on directed graphs.
+// graph, counting in parallel over fixed-size vertex chunks. Panics on
+// directed graphs.
 func (g *Graph) Triangles() int64 {
 	if g.directed {
 		panic("graph: Triangles requires an undirected graph")
 	}
-	var total int64
-	for u := VertexID(0); u < VertexID(g.n); u++ {
-		nbrs := g.Out(u)
-		for _, v := range nbrs {
-			if v <= u {
-				continue
+	sums := make([]int64, numChunks(int(g.n)))
+	parallelChunks(int(g.n), func(ci, lo, hi int, _ *[]VertexID) {
+		var t int64
+		for u := VertexID(lo); u < VertexID(hi); u++ {
+			nbrs := g.Out(u)
+			for _, v := range nbrs {
+				if v <= u {
+					continue
+				}
+				// Count common neighbours w with w > v to count each
+				// triangle exactly once.
+				vn := g.Out(v)
+				i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] > v })
+				j := sort.Search(len(vn), func(i int) bool { return vn[i] > v })
+				t += int64(countIntersect(nbrs[i:], vn[j:]))
 			}
-			// Count common neighbours w with w > v to count each
-			// triangle exactly once.
-			vn := g.Out(v)
-			i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] > v })
-			j := sort.Search(len(vn), func(i int) bool { return vn[i] > v })
-			total += int64(countIntersect(nbrs[i:], vn[j:]))
 		}
+		sums[ci] = t
+	})
+	var total int64
+	for _, s := range sums {
+		total += s
 	}
 	return total
 }
 
 // ConnectedComponents assigns each vertex a component label (the
-// smallest vertex ID in its component) using union-find. Directed
-// graphs use weak connectivity. This is the sequential reference
-// implementation used to validate the platform CONN algorithms.
+// smallest vertex ID in its component) using a lock-free concurrent
+// union-find: edges are scanned in parallel and roots merged with CAS,
+// always attaching the larger root under the smaller, so every tree
+// root — and therefore every final label — is the minimum vertex ID of
+// its component regardless of merge interleaving. Directed graphs use
+// weak connectivity. This is the reference implementation used to
+// validate the platform CONN algorithms.
 func (g *Graph) ConnectedComponents() []VertexID {
-	parent := make([]VertexID, g.n)
+	parent := make([]int32, g.n)
 	for i := range parent {
-		parent[i] = VertexID(i)
+		parent[i] = int32(i)
 	}
-	var find func(VertexID) VertexID
-	find = func(x VertexID) VertexID {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]] // path halving
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b VertexID) {
-		ra, rb := find(a), find(b)
-		if ra == rb {
-			return
-		}
-		// Union by smaller root so the representative is the minimum
-		// vertex ID, matching the label-propagation fixed point.
-		if ra < rb {
-			parent[rb] = ra
-		} else {
-			parent[ra] = rb
+	find := func(x int32) int32 {
+		for {
+			p := atomic.LoadInt32(&parent[x])
+			if p == x {
+				return x
+			}
+			// Path halving; parent values only ever decrease, so a
+			// lost CAS just means another worker compressed first.
+			gp := atomic.LoadInt32(&parent[p])
+			if gp != p {
+				atomic.CompareAndSwapInt32(&parent[x], p, gp)
+			}
+			x = p
 		}
 	}
-	for u := VertexID(0); u < VertexID(g.n); u++ {
-		for _, v := range g.Out(u) {
-			union(u, v)
+	union := func(a, b int32) {
+		for {
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return
+			}
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			// Attach the larger root under the smaller so roots are
+			// monotonically minimal; retry if rb stopped being a root.
+			if atomic.CompareAndSwapInt32(&parent[rb], rb, ra) {
+				return
+			}
 		}
 	}
+	parallelChunks(int(g.n), func(_, lo, hi int, _ *[]VertexID) {
+		for u := VertexID(lo); u < VertexID(hi); u++ {
+			for _, v := range g.Out(u) {
+				union(int32(u), int32(v))
+			}
+		}
+	})
 	labels := make([]VertexID, g.n)
-	for i := range labels {
-		labels[i] = find(VertexID(i))
-	}
+	parallelChunks(int(g.n), func(_, lo, hi int, _ *[]VertexID) {
+		for i := lo; i < hi; i++ {
+			labels[i] = VertexID(find(int32(i)))
+		}
+	})
 	return labels
+}
+
+// metricChunk is the number of vertices per parallel work unit for the
+// metrics above. Chunk boundaries depend only on the vertex count —
+// never on GOMAXPROCS — so chunk-ordered reductions are deterministic
+// across machines.
+const metricChunk = 2048
+
+func numChunks(n int) int { return (n + metricChunk - 1) / metricChunk }
+
+// parallelChunks processes fixed-size vertex chunks on up to
+// GOMAXPROCS workers. Each worker owns one reusable scratch slice it
+// passes to fn for neighbourhood storage.
+func parallelChunks(n int, fn func(ci, lo, hi int, buf *[]VertexID)) {
+	nChunks := numChunks(n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		var buf []VertexID
+		for ci := 0; ci < nChunks; ci++ {
+			lo := ci * metricChunk
+			hi := lo + metricChunk
+			if hi > n {
+				hi = n
+			}
+			fn(ci, lo, hi, &buf)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []VertexID
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nChunks {
+					return
+				}
+				lo := ci * metricChunk
+				hi := lo + metricChunk
+				if hi > n {
+					hi = n
+				}
+				fn(ci, lo, hi, &buf)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // LargestComponent returns the vertex IDs of the largest (weakly)

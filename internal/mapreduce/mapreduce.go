@@ -9,9 +9,10 @@
 package mapreduce
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/cluster"
@@ -200,12 +201,15 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	stats := &JobStats{Name: cfg.Name, Counters: NewCounters()}
 
 	// ---- Map phase -------------------------------------------------
+	// splitDataset returns only non-empty splits, so small inputs spawn
+	// fewer map tasks rather than phantom empty ones.
 	splits := splitDataset(input, nMaps)
-	partitions := make([][][]KV, nMaps) // [map][reduce][]KV
+	nMapTasks := len(splits)
+	partitions := make([][][]KV, nMapTasks) // [map][reduce][]KV
 	var mapOps, maxMapOps int64
 	var mu sync.Mutex
 
-	parallelFor(nMaps, func(m int) {
+	parallelFor(nMapTasks, func(m int) {
 		em := &Emitter{counters: stats.Counters}
 		var ops int64
 		for _, kv := range splits[m] {
@@ -213,8 +217,20 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 			cfg.Mapper.Map(kv.Key, kv.Value, em)
 		}
 		ops += em.extraOps
-		// Partition map output by key hash.
+		// Partition map output by key hash. Two passes over the records
+		// share one exactly-sized backing array instead of growing nReds
+		// slices by repeated append.
+		counts := make([]int, nReds)
+		for _, kv := range em.records {
+			counts[int(uint64(kv.Key)%uint64(nReds))]++
+		}
+		backing := make([]KV, 0, len(em.records))
 		parts := make([][]KV, nReds)
+		off := 0
+		for p := 0; p < nReds; p++ {
+			parts[p] = backing[off:off:off+counts[p]]
+			off += counts[p]
+		}
 		for _, kv := range em.records {
 			p := int(uint64(kv.Key) % uint64(nReds))
 			parts[p] = append(parts[p], kv)
@@ -253,10 +269,16 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	var shuffleBytes int64
 	reduceInput := make([][]KV, nReds)
 	for r := 0; r < nReds; r++ {
-		for m := 0; m < nMaps; m++ {
-			reduceInput[r] = append(reduceInput[r], partitions[m][r]...)
+		total := 0
+		for m := 0; m < nMapTasks; m++ {
+			total += len(partitions[m][r])
 		}
-		for _, kv := range reduceInput[r] {
+		buf := make([]KV, 0, total)
+		for m := 0; m < nMapTasks; m++ {
+			buf = append(buf, partitions[m][r]...)
+		}
+		reduceInput[r] = buf
+		for _, kv := range buf {
 			shuffleBytes += 10 + kv.Value.Size()
 		}
 	}
@@ -280,12 +302,13 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	parallelFor(nReds, func(r int) {
 		em := &Emitter{counters: stats.Counters}
 		part := reduceInput[r]
-		sort.SliceStable(part, func(i, j int) bool { return part[i].Key < part[j].Key })
+		slices.SortStableFunc(part, func(a, b KV) int { return cmp.Compare(a.Key, b.Key) })
 		var ops int64
 		groups := int64(0)
+		var vals []Value // reused across groups; reducers must not retain it
 		for i := 0; i < len(part); {
 			j := i
-			var vals []Value
+			vals = vals[:0]
 			var groupBytes int64
 			for j < len(part) && part[j].Key == part[i].Key {
 				vals = append(vals, part[j].Value)
@@ -319,7 +342,7 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	// ---- Profile ---------------------------------------------------
 	e.Profile.AddPhase(cluster.Phase{
 		Name: cfg.Name + ":setup", Kind: cluster.PhaseSetup,
-		Jobs: 1, Tasks: nMaps + nReds,
+		Jobs: 1, Tasks: nMapTasks + nReds,
 	})
 	e.Profile.AddPhase(cluster.Phase{
 		Name: cfg.Name + ":read", Kind: cluster.PhaseRead,
@@ -327,7 +350,7 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	})
 	e.Profile.AddPhase(cluster.Phase{
 		Name: cfg.Name + ":map", Kind: cluster.PhaseCompute,
-		Ops: mapOps, MaxPartOps: scaleSkew(maxMapOps, mapOps, nMaps, e.HW.Workers()),
+		Ops: mapOps, MaxPartOps: scaleSkew(maxMapOps, mapOps, nMapTasks, e.HW.Workers()),
 	})
 	e.Profile.AddPhase(cluster.Phase{
 		Name: cfg.Name + ":shuffle", Kind: cluster.PhaseShuffle,
@@ -366,23 +389,22 @@ func scaleSkew(maxTask, total int64, tasks, workers int) int64 {
 	return meanWorker + excess
 }
 
-// splitDataset partitions records into n contiguous splits.
+// splitDataset partitions records into at most n contiguous splits.
+// Only non-empty splits are returned: when len(d) < n the dataset
+// yields fewer map tasks, not trailing nil splits that would inflate
+// task accounting with phantom empty partitions.
 func splitDataset(d Dataset, n int) []Dataset {
-	splits := make([]Dataset, n)
-	if len(d) == 0 {
-		return splits
+	if len(d) == 0 || n <= 0 {
+		return nil
 	}
 	per := (len(d) + n - 1) / n
-	for i := 0; i < n; i++ {
-		lo := i * per
-		if lo >= len(d) {
-			break
-		}
+	splits := make([]Dataset, 0, n)
+	for lo := 0; lo < len(d); lo += per {
 		hi := lo + per
 		if hi > len(d) {
 			hi = len(d)
 		}
-		splits[i] = d[lo:hi]
+		splits = append(splits, d[lo:hi])
 	}
 	return splits
 }
@@ -393,11 +415,12 @@ func runGroupFold(r Reducer, records []KV, c *Counters) []KV {
 	if len(records) == 0 {
 		return records
 	}
-	sort.SliceStable(records, func(i, j int) bool { return records[i].Key < records[j].Key })
+	slices.SortStableFunc(records, func(a, b KV) int { return cmp.Compare(a.Key, b.Key) })
 	em := &Emitter{counters: c}
+	var vals []Value // reused across groups; reducers must not retain it
 	for i := 0; i < len(records); {
 		j := i
-		var vals []Value
+		vals = vals[:0]
 		for j < len(records) && records[j].Key == records[i].Key {
 			vals = append(vals, records[j].Value)
 			j++

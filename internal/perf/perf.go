@@ -1,0 +1,405 @@
+// Package perf defines the repository's tracked performance baseline:
+// a fixed set of micro and macro benchmarks over the engines and the
+// graph core, measured with testing.Benchmark (ns/op, B/op, allocs/op,
+// plus simulated DAS-4 seconds for the macro entries) and serialised to
+// a committed BENCH_*.json file. Running the suite before and after a
+// performance PR gives every future change a trajectory to beat,
+// following LDBC Graphalytics' renewable-benchmark practice.
+//
+// The suite is intentionally fixed: same datasets, same scale, same
+// seed, same hardware model. Do not edit existing entries when adding
+// new ones — comparability across PRs is the point.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/cluster"
+	"repro/internal/dataflow"
+	"repro/internal/datagen"
+	"repro/internal/gasalgo"
+	"repro/internal/graph"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/pregel"
+	"repro/internal/pregelalgo"
+)
+
+// BaselineScale and BaselineSeed pin the dataset generation so the
+// suite is identical across machines and PRs (BaselineScale matches the
+// default BENCH_SCALE of bench_test.go).
+const (
+	BaselineScale = 8
+	BaselineSeed  = 42
+)
+
+// Metrics is one measured benchmark result.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	// SimSeconds is the simulated DAS-4 job time for macro entries
+	// (zero for micro entries, where only the Go-level cost matters).
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	// BenchN is the b.N the figures were averaged over.
+	BenchN int `json:"bench_n,omitempty"`
+}
+
+// Record pairs the pre-PR and post-PR measurements of one benchmark.
+type Record struct {
+	Before *Metrics `json:"before,omitempty"`
+	After  *Metrics `json:"after,omitempty"`
+}
+
+// Baseline is the serialised BENCH_*.json document.
+type Baseline struct {
+	Description string             `json:"description"`
+	GoVersion   string             `json:"go_version"`
+	Scale       int                `json:"scale"`
+	Seed        int64              `json:"seed"`
+	Benchmarks  map[string]*Record `json:"benchmarks"`
+}
+
+// Bench is one fixed suite entry.
+type Bench struct {
+	Name string
+	Run  func(b *testing.B)
+	// Sim, when non-nil, reports the simulated cluster seconds of one
+	// run through the cost model.
+	Sim func() float64
+}
+
+func mustGraph(name string, scale int, seed int64) *graph.Graph {
+	p, err := datagen.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p.GenerateScaled(scale, seed)
+}
+
+// connRoundConfig is a bounded min-label propagation used by the
+// combiner micro benchmarks (the Giraph ablation the paper calls out).
+func connRoundConfig(withCombiner bool) pregel.Config {
+	cfg := pregel.Config{
+		MaxSupersteps: 3,
+		InitialValue: func(v graph.VertexID) pregel.Value {
+			return algo.LabelMsg{Label: v}
+		},
+		Program: pregel.ProgramFunc(func(ctx *pregel.Context, msgs []pregel.Message) {
+			cur := ctx.Value().(algo.LabelMsg).Label
+			for _, m := range msgs {
+				if l := m.(algo.LabelMsg).Label; l < cur {
+					cur = l
+				}
+			}
+			ctx.SetValue(algo.LabelMsg{Label: cur})
+			ctx.SendToNeighbors(algo.LabelMsg{Label: cur})
+		}),
+	}
+	if withCombiner {
+		cfg.Combiner = minLabelCombiner{}
+	}
+	return cfg
+}
+
+type minLabelCombiner struct{}
+
+func (minLabelCombiner) Combine(a, b pregel.Message) pregel.Message {
+	if a.(algo.LabelMsg).Label < b.(algo.LabelMsg).Label {
+		return a
+	}
+	return b
+}
+
+// minLabelMRJob is a single CONN round for the MapReduce micro entry.
+func minLabelMRJob() mapreduce.JobConfig {
+	mapper := mapreduce.MapperFunc(func(k int64, v mapreduce.Value, out *mapreduce.Emitter) {
+		rec := v.(*algo.VertexRec)
+		out.Emit(k, rec)
+		msg := algo.LabelMsg{Label: rec.Label}
+		for _, u := range rec.Both() {
+			out.Emit(int64(u), msg)
+		}
+	})
+	reducer := mapreduce.ReducerFunc(func(k int64, values []mapreduce.Value, out *mapreduce.Emitter) {
+		var rec *algo.VertexRec
+		smallest := graph.VertexID(1 << 30)
+		for _, v := range values {
+			switch x := v.(type) {
+			case *algo.VertexRec:
+				rec = x
+			case algo.LabelMsg:
+				if x.Label < smallest {
+					smallest = x.Label
+				}
+			}
+		}
+		if rec != nil {
+			out.Emit(k, rec)
+		}
+	})
+	return mapreduce.JobConfig{Name: "conn-round", Mapper: mapper, Reducer: reducer}
+}
+
+// Suite returns the fixed benchmark set. The entry names are stable
+// identifiers: BENCH_*.json keys and the acceptance thresholds of
+// performance PRs refer to them.
+func Suite(scale int, seed int64) []Bench {
+	hw := cluster.DAS4(20, 1)
+	dota := mustGraph("DotaLeague", scale, seed)
+	kgs := mustGraph("KGS", scale, seed)
+	dotaSrc := algo.PickSource(dota, seed)
+
+	mrInput := make(mapreduce.Dataset, kgs.NumVertices())
+	dfInput := make(dataflow.Dataset, kgs.NumVertices())
+	for v := 0; v < kgs.NumVertices(); v++ {
+		rec := &algo.VertexRec{Out: kgs.Out(graph.VertexID(v)), Label: graph.VertexID(v)}
+		mrInput[v] = mapreduce.KV{Key: int64(v), Value: rec}
+		dfInput[v] = dataflow.Record{Key: int64(v), Value: rec}
+	}
+
+	dfRound := func() *dataflow.Engine {
+		e := dataflow.New(hw)
+		p := dataflow.NewPlan("conn-round")
+		src := p.Source("state", dfInput, 0)
+		msgs := p.Map("expand", src, func(in dataflow.Record, out *dataflow.Collector) {
+			rec := in.Value.(*algo.VertexRec)
+			for _, u := range rec.Both() {
+				out.Collect(int64(u), algo.LabelMsg{Label: rec.Label})
+			}
+		}, dataflow.None)
+		next := p.CoGroup("apply", src, msgs, func(key int64, left, right []dataflow.Record, out *dataflow.Collector) {
+			for _, l := range left {
+				out.Collect(key, l.Value)
+			}
+		}, dataflow.SameKey)
+		p.Sink(next, false)
+		if _, err := e.Execute(p); err != nil {
+			panic(err)
+		}
+		return e
+	}
+
+	return []Bench{
+		{
+			// The headline macro benchmark: Giraph-model BFS on the
+			// DotaLeague-class dense graph (the paper's Figure 3 sweet
+			// spot for Giraph).
+			Name: "pregel-bfs-dotaleague",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := pregelalgo.BFS(dota, hw, dotaSrc, 0, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			Sim: func() float64 {
+				profile := &cluster.ExecutionProfile{}
+				if _, _, err := pregelalgo.BFS(dota, hw, dotaSrc, 0, profile); err != nil {
+					panic(err)
+				}
+				return cluster.GiraphCosts().Time(profile, hw).Total
+			},
+		},
+		{
+			Name: "pregel-connround-kgs-combiner-on",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := pregel.Run(kgs, hw, connRoundConfig(true), nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name: "pregel-connround-kgs-combiner-off",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := pregel.Run(kgs, hw, connRoundConfig(false), nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name: "gas-bfs-dotaleague",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := gasalgo.BFS(dota, hw, dotaSrc, 0, false, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			Sim: func() float64 {
+				profile := &cluster.ExecutionProfile{}
+				if _, _, err := gasalgo.BFS(dota, hw, dotaSrc, 0, false, profile); err != nil {
+					panic(err)
+				}
+				return cluster.GraphLabCosts().Time(profile, hw).Total
+			},
+		},
+		{
+			Name: "mapreduce-connround-kgs",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e := mapreduce.New(hw, hdfs.New())
+					if _, _, err := e.Run(minLabelMRJob(), mrInput, mrInput.Bytes()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name: "dataflow-connround-kgs",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					dfRound()
+				}
+			},
+		},
+		{
+			Name: "graph-avglcc-kgs",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = kgs.AvgLCC()
+				}
+			},
+		},
+		{
+			Name: "graph-triangles-dotaleague",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = dota.Triangles()
+				}
+			},
+		},
+		{
+			Name: "graph-components-dotaleague",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = dota.ConnectedComponents()
+				}
+			},
+		},
+	}
+}
+
+// Measure runs the fixed suite once and returns the results by name.
+func Measure(scale int, seed int64) map[string]*Metrics {
+	out := make(map[string]*Metrics)
+	for _, bm := range Suite(scale, seed) {
+		r := testing.Benchmark(bm.Run)
+		m := &Metrics{
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BenchN:      r.N,
+		}
+		if bm.Sim != nil {
+			m.SimSeconds = bm.Sim()
+		}
+		out[bm.Name] = m
+	}
+	return out
+}
+
+// Load reads an existing baseline file; a missing file yields an empty
+// baseline ready to be filled.
+func Load(path string) (*Baseline, error) {
+	bl := &Baseline{
+		Description: "graphbench tracked perf baseline: fixed micro+macro suite (see internal/perf)",
+		GoVersion:   runtime.Version(),
+		Scale:       BaselineScale,
+		Seed:        BaselineSeed,
+		Benchmarks:  make(map[string]*Record),
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return bl, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, bl); err != nil {
+		return nil, fmt.Errorf("perf: parsing %s: %w", path, err)
+	}
+	if bl.Benchmarks == nil {
+		bl.Benchmarks = make(map[string]*Record)
+	}
+	return bl, nil
+}
+
+// WriteBaseline measures the suite and merges the results into path
+// under the given phase ("before" or "after"), creating the file if
+// needed. It returns the updated document.
+func WriteBaseline(path, phase string) (*Baseline, error) {
+	if phase != "before" && phase != "after" {
+		return nil, fmt.Errorf("perf: phase must be \"before\" or \"after\", got %q", phase)
+	}
+	bl, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	for name, m := range Measure(BaselineScale, BaselineSeed) {
+		rec := bl.Benchmarks[name]
+		if rec == nil {
+			rec = &Record{}
+			bl.Benchmarks[name] = rec
+		}
+		if phase == "before" {
+			rec.Before = m
+		} else {
+			rec.After = m
+		}
+	}
+	bl.GoVersion = runtime.Version()
+	data, err := json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return bl, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Summary renders a short comparison table of the baseline, with
+// speedup factors wherever both phases are present.
+func (bl *Baseline) Summary() string {
+	names := make([]string, 0, len(bl.Benchmarks))
+	for n := range bl.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("%-36s %14s %14s %9s %9s\n", "benchmark", "ns/op", "allocs/op", "x-ns", "x-alloc")
+	for _, n := range names {
+		r := bl.Benchmarks[n]
+		m := r.After
+		if m == nil {
+			m = r.Before
+		}
+		if m == nil {
+			continue
+		}
+		line := fmt.Sprintf("%-36s %14.0f %14d", n, m.NsPerOp, m.AllocsPerOp)
+		if r.Before != nil && r.After != nil && r.After.NsPerOp > 0 && r.After.AllocsPerOp > 0 {
+			line += fmt.Sprintf(" %8.2fx %8.2fx",
+				r.Before.NsPerOp/r.After.NsPerOp,
+				float64(r.Before.AllocsPerOp)/float64(r.After.AllocsPerOp))
+		}
+		s += line + "\n"
+	}
+	return s
+}

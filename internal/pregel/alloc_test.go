@@ -1,0 +1,99 @@
+package pregel
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// completeGraph returns an undirected clique of n vertices, dense
+// enough that vertices receive many same-superstep messages.
+func completeGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n, false)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	return b.Build()
+}
+
+// TestCombinerEquivalence runs the same BFS program with and without a
+// min-combiner and checks (a) identical vertex values — sender-side
+// combining must not change results — and (b) that message bytes and
+// peak inbox both shrink with the combiner on, the Giraph ablation the
+// paper calls out.
+func TestCombinerEquivalence(t *testing.T) {
+	g := completeGraph(24)
+	hw := cluster.DAS4(4, 1)
+
+	plain, err := Run(g, hw, bfsProgram(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bfsProgram()
+	cfg.Combiner = minCombiner{}
+	combined, err := Run(g, hw, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for v := range plain.Values {
+		a, b := plain.Values[v], combined.Values[v]
+		if (a == nil) != (b == nil) || (a != nil && a.(i64) != b.(i64)) {
+			t.Fatalf("value[%d]: plain %v, combined %v", v, a, b)
+		}
+	}
+	if combined.Stats.TotalMsgBytes >= plain.Stats.TotalMsgBytes {
+		t.Fatalf("TotalMsgBytes did not shrink: combined %d >= plain %d",
+			combined.Stats.TotalMsgBytes, plain.Stats.TotalMsgBytes)
+	}
+	if combined.Stats.PeakInboxBytes >= plain.Stats.PeakInboxBytes {
+		t.Fatalf("PeakInboxBytes did not shrink: combined %d >= plain %d",
+			combined.Stats.PeakInboxBytes, plain.Stats.PeakInboxBytes)
+	}
+	if combined.Stats.TotalMessages >= plain.Stats.TotalMessages {
+		t.Fatalf("TotalMessages did not shrink: combined %d >= plain %d",
+			combined.Stats.TotalMessages, plain.Stats.TotalMessages)
+	}
+}
+
+// floodConfig keeps every vertex active and messaging each superstep,
+// so marginal supersteps isolate the engine's steady-state cost.
+func floodConfig(steps int) Config {
+	return Config{
+		MaxSupersteps: steps,
+		Program: ProgramFunc(func(ctx *Context, msgs []Message) {
+			ctx.SendToNeighbors(i64(1))
+		}),
+	}
+}
+
+// TestSuperstepAllocCeiling pins the engine's per-superstep allocation
+// count: with pooled workers, outboxes, inboxes, and contexts, the
+// steady-state cost is a handful of allocations per partition (barrier
+// bookkeeping and goroutine spawns), independent of the vertex count.
+func TestSuperstepAllocCeiling(t *testing.T) {
+	g := path(256)
+	hw := cluster.DAS4(4, 1)
+	run := func(steps int) func() {
+		return func() {
+			if _, err := Run(g, hw, floodConfig(steps), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	short := testing.AllocsPerRun(5, run(2))
+	long := testing.AllocsPerRun(5, run(12))
+	perStep := (long - short) / 10
+
+	// 4 partitions: compute + delivery goroutine spawns, the aggregator
+	// map, and barrier bookkeeping. Anything near the vertex count
+	// (256) means per-vertex pooling has regressed.
+	const ceiling = 40.0
+	if perStep > ceiling {
+		t.Fatalf("allocs per superstep = %.1f, want <= %.1f (short=%.0f long=%.0f)",
+			perStep, ceiling, short, long)
+	}
+}

@@ -99,12 +99,13 @@ type Result struct {
 	Aggregators map[string]float64
 }
 
-// Context is the per-vertex view passed to Program.Compute.
+// Context is the per-vertex view passed to Program.Compute. The engine
+// reuses one Context per worker across vertices and supersteps; it is
+// only valid for the duration of the Compute call.
 type Context struct {
-	w         *worker
-	id        graph.VertexID
-	active    bool
-	pendingAg map[string]float64
+	w      *worker
+	id     graph.VertexID
+	active bool
 }
 
 // ID returns the vertex ID.
@@ -153,10 +154,10 @@ func (c *Context) VoteToHalt() { c.active = false }
 // Aggregate adds x into the named sum-aggregator, visible via
 // Aggregated from the next superstep.
 func (c *Context) Aggregate(name string, x float64) {
-	if c.pendingAg == nil {
-		c.pendingAg = make(map[string]float64)
+	if c.w.pendingAg == nil {
+		c.w.pendingAg = make(map[string]float64)
 	}
-	c.pendingAg[name] += x
+	c.w.pendingAg[name] += x
 }
 
 // Aggregated returns the named aggregator's value from the previous
@@ -176,15 +177,80 @@ type envelope struct {
 type worker struct {
 	e    *Engine
 	part int
-	// outbox[p] collects messages for partition p this superstep.
+	// outbox[p] collects messages for partition p this superstep. The
+	// slices are truncated, not freed, at each superstep boundary so
+	// their capacity is reused for the whole run.
 	outbox [][]envelope
-	// measured
+	// combSlot[dst] is the slot of dst's single envelope in
+	// outbox[partitionOf(dst)] when a combiner is configured: the
+	// sender combines in place instead of materialising one envelope
+	// per message. combSeen stamps slots with the superstep epoch so
+	// resetting is O(1) instead of clearing all n entries.
+	combSlot  []int32
+	combSeen  []uint32
+	combEpoch uint32
+	// ctx is the reusable per-vertex view handed to Program.Compute.
+	ctx Context
+	// measured (reset every superstep)
 	sentMsgs, sentBytes, netBytes, ops int64
-	pendingAg                          map[string]float64
+	// rawBytes is the pre-combine send volume — what Giraph's sender
+	// materialises in its out-buffer before the combiner runs, and
+	// therefore what the SendLimitPerNode OOM model must see.
+	rawBytes    int64
+	activeAfter int64
+	pendingAg   map[string]float64
 }
 
+// resetForSuperstep clears per-superstep state while keeping buffer
+// capacity.
+func (w *worker) resetForSuperstep() {
+	w.sentMsgs, w.sentBytes, w.netBytes, w.ops = 0, 0, 0, 0
+	w.rawBytes = 0
+	w.activeAfter = 0
+	for p := range w.outbox {
+		w.outbox[p] = w.outbox[p][:0]
+	}
+	if w.combSeen != nil {
+		w.combEpoch++
+		if w.combEpoch == 0 { // epoch wrapped: stamps are stale, really clear
+			clear(w.combSeen)
+			w.combEpoch = 1
+		}
+	}
+	if w.pendingAg != nil {
+		clear(w.pendingAg)
+	}
+}
+
+// send routes a message to dst's partition. With a combiner configured
+// it combines at the sender: each (worker, destination vertex) pair
+// keeps a single outbox slot, so combined workloads never materialise
+// O(messages) envelopes and the send buffer holds only what actually
+// crosses the wire — Giraph's sender-side combine. Combining is in
+// send order within the worker, and the barrier later merges workers in
+// source-partition order, so the overall merge order stays
+// deterministic.
 func (w *worker) send(dst graph.VertexID, m Message) {
 	p := w.e.partitionOf(dst)
+	w.ops += 1 + m.Size()/64 // the compute work of producing the message
+	w.rawBytes += m.Size() + w.e.cfg.MessageEnvelope
+	if comb := w.e.cfg.Combiner; comb != nil {
+		if w.combSeen[dst] == w.combEpoch {
+			i := w.combSlot[dst]
+			old := w.outbox[p][i].msg
+			merged := comb.Combine(old, m)
+			w.outbox[p][i].msg = merged
+			if delta := merged.Size() - old.Size(); delta != 0 {
+				w.sentBytes += delta
+				if p != w.part {
+					w.netBytes += delta
+				}
+			}
+			return
+		}
+		w.combSeen[dst] = w.combEpoch
+		w.combSlot[dst] = int32(len(w.outbox[p]))
+	}
 	w.outbox[p] = append(w.outbox[p], envelope{dst, m})
 	size := m.Size() + w.e.cfg.MessageEnvelope
 	w.sentMsgs++
@@ -192,7 +258,6 @@ func (w *worker) send(dst graph.VertexID, m Message) {
 	if p != w.part {
 		w.netBytes += size
 	}
-	w.ops += 1 + m.Size()/64
 }
 
 // Engine holds a run's state.
@@ -230,8 +295,12 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		}
 	}
 	active := make([]bool, n)
+	var activeCount int64
 	for v := 0; v < n; v++ {
 		active[v] = cfg.InitiallyActive == nil || cfg.InitiallyActive(graph.VertexID(v))
+		if active[v] {
+			activeCount++
+		}
 	}
 
 	parts := e.hw.Nodes
@@ -242,7 +311,25 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		members[p] = append(members[p], graph.VertexID(v))
 	}
 
+	// Long-lived per-run state: workers (with their outboxes and
+	// contexts), the inbox slices, and the barrier scratch arrays are
+	// allocated once and reused every superstep.
+	workers := make([]*worker, parts)
+	for p := 0; p < parts; p++ {
+		w := &worker{e: e, part: p, outbox: make([][]envelope, parts)}
+		if cfg.Combiner != nil {
+			w.combSlot = make([]int32, n)
+			w.combSeen = make([]uint32, n)
+		}
+		w.ctx.w = w
+		workers[p] = w
+	}
 	inbox := make([][]Message, n)
+	partOps := make([]int64, parts)
+	inboxBytesPer := make([]int64, parts)
+	// pendingMsgs counts messages delivered at the last barrier, so the
+	// termination check is O(1) instead of rescanning every vertex.
+	var pendingMsgs int64
 	var st Stats
 
 	if profile != nil && !cfg.SkipSetup {
@@ -256,31 +343,24 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		if cfg.MaxSupersteps > 0 && e.superstep >= cfg.MaxSupersteps {
 			break
 		}
-		// Any work this superstep?
-		anyWork := false
-		for v := 0; v < n && !anyWork; v++ {
-			anyWork = active[v] || len(inbox[v]) > 0
-		}
-		if !anyWork {
+		if activeCount == 0 && pendingMsgs == 0 {
 			break
 		}
 
-		workers := make([]*worker, parts)
-		nextInbox := make([][]Message, n)
 		var wg sync.WaitGroup
-		partOps := make([]int64, parts)
 		for p := 0; p < parts; p++ {
-			w := &worker{e: e, part: p, outbox: make([][]envelope, parts)}
-			workers[p] = w
 			wg.Add(1)
 			go func(p int, w *worker) {
 				defer wg.Done()
+				w.resetForSuperstep()
+				ctx := &w.ctx
 				for _, v := range members[p] {
 					msgs := inbox[v]
 					if !active[v] && len(msgs) == 0 {
 						continue
 					}
-					ctx := &Context{w: w, id: v, active: true}
+					ctx.id = v
+					ctx.active = true
 					var inBytes int64
 					for _, m := range msgs {
 						inBytes += m.Size()
@@ -288,18 +368,15 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 					w.ops += 1 + inBytes/64
 					cfg.Program.Compute(ctx, msgs)
 					active[v] = ctx.active
-					if ctx.pendingAg != nil {
-						if w.pendingAg == nil {
-							w.pendingAg = make(map[string]float64)
-						}
-						for k, x := range ctx.pendingAg {
-							w.pendingAg[k] += x
-						}
+					if ctx.active {
+						w.activeAfter++
 					}
-					inbox[v] = nil
+					// Keep the consumed slice's capacity: the next
+					// barrier delivers into it.
+					inbox[v] = msgs[:0]
 				}
 				partOps[p] = w.ops
-			}(p, w)
+			}(p, workers[p])
 		}
 		wg.Wait()
 
@@ -307,18 +384,21 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		// order), apply the combiner, gather aggregators and stats.
 		agg := map[string]float64{}
 		var superMsgs, superBytes, superNet, maxSend int64
+		activeCount = 0
 		for p := 0; p < parts; p++ {
 			w := workers[p]
 			superMsgs += w.sentMsgs
 			superBytes += w.sentBytes
 			superNet += w.netBytes
-			if w.sentBytes > maxSend {
-				maxSend = w.sentBytes
+			activeCount += w.activeAfter
+			if w.rawBytes > maxSend {
+				maxSend = w.rawBytes
 			}
 			for k, x := range w.pendingAg {
 				agg[k] += x
 			}
 		}
+		pendingMsgs = superMsgs
 		if maxSend > st.PeakSendBytes {
 			st.PeakSendBytes = maxSend
 		}
@@ -329,7 +409,6 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		// Deliver per destination partition in parallel; each
 		// destination partition drains all source outboxes in order.
 		var dwg sync.WaitGroup
-		inboxBytesPer := make([]int64, parts)
 		for dp := 0; dp < parts; dp++ {
 			dwg.Add(1)
 			go func(dp int) {
@@ -337,15 +416,15 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 				var bytes int64
 				for sp := 0; sp < parts; sp++ {
 					for _, env := range workers[sp].outbox[dp] {
-						if cfg.Combiner != nil && len(nextInbox[env.dst]) == 1 {
-							nextInbox[env.dst][0] = cfg.Combiner.Combine(nextInbox[env.dst][0], env.msg)
+						if box := inbox[env.dst]; cfg.Combiner != nil && len(box) == 1 {
+							box[0] = cfg.Combiner.Combine(box[0], env.msg)
 						} else {
-							nextInbox[env.dst] = append(nextInbox[env.dst], env.msg)
+							inbox[env.dst] = append(box, env.msg)
 						}
 					}
 				}
 				for _, v := range members[dp] {
-					for _, m := range nextInbox[v] {
+					for _, m := range inbox[v] {
 						bytes += m.Size() + cfg.MessageEnvelope
 					}
 				}
@@ -398,7 +477,6 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 			}
 		}
 
-		inbox = nextInbox
 		e.aggPrev = agg
 		e.superstep++
 	}

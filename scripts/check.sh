@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Repo-wide verification: vet, build, full tests, and a race-detector
+# pass over the four engines' reused-buffer hot paths.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race -short (engines)"
+go test -race -short \
+    ./internal/pregel/... \
+    ./internal/gas/... \
+    ./internal/mapreduce/... \
+    ./internal/dataflow/...
+
+echo "ok"
