@@ -1,12 +1,15 @@
 // Command datagen generates the benchmark datasets to disk in the
-// paper's plain-text interchange format (Section 2.2.1).
+// paper's plain-text interchange format (Section 2.2.1) or as binary
+// CSR snapshots.
 //
 // Usage:
 //
-//	datagen [-scale N] [-seed N] [-out DIR] [dataset ...]
+//	datagen [-scale N] [-seed N] [-out DIR] [-format text|binary] [-cache DIR] [dataset ...]
 //
 // Without dataset arguments, all seven datasets of Table 2 are
-// generated.
+// generated. -format binary writes versioned CSR snapshots (.gcsr)
+// that graph.ReadBinary loads without reparsing; -cache reuses
+// previously generated snapshots instead of regenerating.
 package main
 
 import (
@@ -23,8 +26,14 @@ func main() {
 	scale := flag.Int("scale", 1, "extra down-scaling factor")
 	seed := flag.Int64("seed", 42, "generation seed")
 	out := flag.String("out", ".", "output directory")
+	format := flag.String("format", "text", "output format: text (paper interchange) or binary (CSR snapshot)")
+	cache := flag.String("cache", os.Getenv("GRAPHBENCH_CACHE"),
+		"dataset snapshot cache directory (empty disables; default $GRAPHBENCH_CACHE)")
 	flag.Parse()
 
+	if *format != "text" && *format != "binary" {
+		fatal("unknown format %q (text|binary)", *format)
+	}
 	names := flag.Args()
 	if len(names) == 0 {
 		names = datagen.Names()
@@ -37,15 +46,25 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		g := prof.GenerateScaled(*scale, *seed)
-		path := filepath.Join(*out, name+".graph")
+		g := prof.GenerateCached(*scale, *seed, *cache)
+		ext := ".graph"
+		if *format == "binary" {
+			ext = ".gcsr"
+		}
+		path := filepath.Join(*out, name+ext)
 		f, err := os.Create(path)
 		if err != nil {
 			fatal("creating %s: %v", path, err)
 		}
-		if err := graph.WriteText(f, g); err != nil {
+		var werr error
+		if *format == "binary" {
+			werr = graph.WriteBinary(f, g)
+		} else {
+			werr = graph.WriteText(f, g)
+		}
+		if werr != nil {
 			f.Close()
-			fatal("writing %s: %v", path, err)
+			fatal("writing %s: %v", path, werr)
 		}
 		if err := f.Close(); err != nil {
 			fatal("closing %s: %v", path, err)

@@ -39,9 +39,12 @@ func main() {
 	seed := flag.Int64("seed", 42, "generation seed")
 	nodes := flag.Int("nodes", 20, "cluster size for `run`")
 	cores := flag.Int("cores", 1, "cores per node for `run`")
+	cache := flag.String("cache", os.Getenv("GRAPHBENCH_CACHE"),
+		"dataset snapshot cache directory (empty disables; default $GRAPHBENCH_CACHE)")
 	flag.Parse()
 
-	h := bench.New(bench.Config{Seed: *seed, Scale: *scale})
+	perf.CacheDir = *cache
+	h := bench.New(bench.Config{Seed: *seed, Scale: *scale, CacheDir: *cache})
 	emitCSV = *csv
 	args := flag.Args()
 	if len(args) == 0 {
@@ -88,7 +91,7 @@ func main() {
 			fatal("%v", err)
 		}
 		r := process.NewRunner(p)
-		r.Scale, r.Seed = *scale, *seed
+		r.Scale, r.Seed, r.CacheDir = *scale, *seed, *cache
 		out, err := r.ExploratoryTest(cluster.DAS4(*nodes, *cores))
 		if err != nil {
 			fatal("%v", err)
@@ -108,7 +111,7 @@ func main() {
 			fatal("%v", err)
 		}
 		r := process.NewRunner(p)
-		r.Scale, r.Seed = *scale, *seed
+		r.Scale, r.Seed, r.CacheDir = *scale, *seed, *cache
 		res, err := r.LoadTest(args[2], args[3], cluster.DAS4(*nodes, *cores))
 		if err != nil {
 			fatal("%v", err)
@@ -144,6 +147,18 @@ func main() {
 			out = args[2]
 		}
 		bl, err := perf.WriteBaseline(out, phase)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s (%s)\n\n%s", out, phase, bl.Summary())
+	case "bench-ingest":
+		need(args, 2)
+		phase := args[1]
+		out := "BENCH_pr3.json"
+		if len(args) > 2 {
+			out = args[2]
+		}
+		bl, err := perf.WriteIngestBaseline(out, phase)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -249,7 +264,12 @@ func usage() {
   graphbench [flags] loadtest <platform> <algorithm> <dataset>
   graphbench [flags] predict <platform> <algorithm> <dataset>
   graphbench bench-baseline <before|after> [file]
+  graphbench bench-ingest <before|after> [file]
   graphbench [flags] all
+
+flags of note:
+  -cache DIR   cache generated datasets as binary CSR snapshots in DIR
+               (default $GRAPHBENCH_CACHE; empty disables)
 
 platforms:  Hadoop YARN Stratosphere Giraph GraphLab GraphLab(mp) Neo4j
 algorithms: STATS BFS CONN CD EVO

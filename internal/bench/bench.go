@@ -27,6 +27,11 @@ type Config struct {
 	// Scale additionally divides the default dataset scale (1 = the
 	// standard scale, bigger = smaller/faster).
 	Scale int
+	// CacheDir, when non-empty, enables the on-disk binary snapshot
+	// cache for generated datasets (see internal/datagen): repeated
+	// harness runs load graphs with one block read instead of
+	// regenerating them.
+	CacheDir string
 }
 
 // DefaultConfig is the standard full-scale configuration.
@@ -69,7 +74,7 @@ func (h *Harness) Graph(dataset string) *graph.Graph {
 	if err != nil {
 		panic(err)
 	}
-	g := prof.GenerateScaled(h.cfg.Scale, h.cfg.Seed)
+	g := prof.GenerateCached(h.cfg.Scale, h.cfg.Seed, h.cfg.CacheDir)
 	h.graphs[dataset] = g
 	return g
 }

@@ -491,7 +491,7 @@ func partition(d Dataset, par int) []Dataset {
 	parts := make([]Dataset, par)
 	off := 0
 	for p := 0; p < par; p++ {
-		parts[p] = backing[off:off:off+counts[p]]
+		parts[p] = backing[off : off : off+counts[p]]
 		off += counts[p]
 	}
 	for _, r := range d {

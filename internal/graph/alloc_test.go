@@ -1,0 +1,55 @@
+package graph_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// textOf serialises a random undirected graph with n vertices.
+func textOf(t testing.TB, n int, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, false)
+	for i := 0; i < 4*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteText(&buf, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParseAllocCeiling pins the parser's marginal allocation cost per
+// vertex line, the same way internal/pregel pins per-superstep allocs.
+// Chunk parsing works in place on the input bytes, so the only growth
+// with input size is the amortised edge-buffer doubling and the final
+// CSR arrays — a handful of allocations total, nothing per line. A
+// regression to per-line strings or splits shows up as a per-line cost
+// near 1 or above.
+func TestParseAllocCeiling(t *testing.T) {
+	short := textOf(t, 1_000, 5)
+	long := textOf(t, 11_000, 5)
+	parse := func(data []byte) func() {
+		return func() {
+			if _, err := graph.ParseTextWorkers(data, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a := testing.AllocsPerRun(5, parse(short))
+	b := testing.AllocsPerRun(5, parse(long))
+	perLine := (b - a) / 10_000
+
+	const ceiling = 0.02
+	if perLine > ceiling {
+		t.Fatalf("allocs per vertex line = %.4f, want <= %.2f (short=%.0f long=%.0f)",
+			perLine, ceiling, a, b)
+	}
+}

@@ -1,0 +1,126 @@
+package graph_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+// equivalenceScale keeps the per-profile graphs small enough that all
+// seven profiles times several worker counts stay fast.
+const equivalenceScale = 16
+
+// TestParallelReadEquivalence checks that the chunked parallel reader
+// produces a Graph byte-identical to the sequential scanner-based
+// reference on every datagen profile, for every worker count — the
+// determinism guarantee the loader documents.
+func TestParallelReadEquivalence(t *testing.T) {
+	for _, name := range datagen.Names() {
+		prof, err := datagen.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			g := prof.GenerateScaled(equivalenceScale, 42)
+			var buf bytes.Buffer
+			if err := graph.WriteText(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			data := buf.Bytes()
+
+			ref, err := graph.ReadTextSequential(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ref.Equal(g) {
+				t.Fatalf("sequential reference differs from the written graph")
+			}
+			for _, workers := range []int{1, 2, 3, 5, 8, 16} {
+				got, err := graph.ParseTextWorkers(data, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !got.Equal(ref) {
+					t.Fatalf("workers=%d: parallel parse differs from sequential reference", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBuildEquivalence checks that the parallel counting CSR
+// build matches the sort-based sequential build on random multigraphs
+// (duplicates and both directivities included), for every worker count.
+func TestParallelBuildEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, directed := range []bool{false, true} {
+		for trial := 0; trial < 4; trial++ {
+			n := 1 + rng.Intn(500)
+			m := rng.Intn(4 * n)
+			edges := make([][2]int, m)
+			for i := range edges {
+				edges[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+			}
+			fill := func() *graph.Builder {
+				b := graph.NewBuilder(n, directed)
+				for _, e := range edges {
+					if e[0] != e[1] {
+						b.AddEdge(graph.VertexID(e[0]), graph.VertexID(e[1]))
+					}
+				}
+				return b
+			}
+			ref := fill().BuildSequential()
+			for _, workers := range []int{1, 2, 3, 7, 16} {
+				got := fill().BuildWorkers(workers)
+				if !got.Equal(ref) {
+					t.Fatalf("directed=%v n=%d m=%d workers=%d: parallel build differs from sequential",
+						directed, n, m, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestBinaryTextRoundTrip checks on every datagen profile that the
+// binary snapshot is lossless: text -> parse -> binary -> load yields a
+// graph identical to the original, and the binary size matches
+// BinarySize exactly.
+func TestBinaryTextRoundTrip(t *testing.T) {
+	for _, name := range datagen.Names() {
+		prof, err := datagen.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			g := prof.GenerateScaled(equivalenceScale, 42)
+
+			var text bytes.Buffer
+			if err := graph.WriteText(&text, g); err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := graph.ReadText(bytes.NewReader(text.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var bin bytes.Buffer
+			if err := graph.WriteBinary(&bin, parsed); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := int64(bin.Len()), graph.BinarySize(parsed); got != want {
+				t.Fatalf("binary size %d, BinarySize %d", got, want)
+			}
+			loaded, err := graph.ReadBinary(bytes.NewReader(bin.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !loaded.Equal(g) {
+				t.Fatalf("text->binary round trip altered the graph")
+			}
+		})
+	}
+}

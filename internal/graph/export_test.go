@@ -1,0 +1,23 @@
+package graph
+
+import "io"
+
+// Test-only hooks exposing the sequential reference implementations and
+// the forced-worker-count entry points to the external test package
+// (equivalence, fuzz, and alloc tests live in package graph_test so they
+// can import internal/datagen without a cycle).
+
+// ReadTextSequential is the scanner-based single-goroutine reference
+// reader paired with the sort-based sequential CSR build.
+func ReadTextSequential(r io.Reader) (*Graph, error) { return readTextSequential(r) }
+
+// ParseTextWorkers parses the text format with an explicit chunk-parser
+// count, bypassing the size-based heuristic.
+func ParseTextWorkers(data []byte, workers int) (*Graph, error) { return parseText(data, workers) }
+
+// BuildWorkers runs the parallel counting build with an explicit worker
+// count, bypassing the size-based heuristic.
+func (b *Builder) BuildWorkers(workers int) *Graph { return b.build(workers) }
+
+// BuildSequential runs the original sort-based sequential build.
+func (b *Builder) BuildSequential() *Graph { return b.buildSequential() }

@@ -1,0 +1,65 @@
+package graph_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzReadText asserts the reader's contract on arbitrary bytes: it
+// never panics, and whenever it accepts an input, (a) the chunked
+// parser yields the same graph at any worker count, and (b) the graph
+// survives a write/read round trip with TextSize agreeing with the
+// bytes actually written.
+func FuzzReadText(f *testing.F) {
+	seeds := []string{
+		"",
+		"V 3 undirected\n0\t1\n1\t0,2\n2\t1\n",
+		"V 3 directed\n0\t\t1\n1\t0\t2\n2\t1\t\n",
+		"# comment\n\nV 2 undirected\n0\t1\n1\t0\n",
+		"V 2 undirected\r\n0\t1\r\n1\t0\r\n",
+		"V 2 undirected\n0\t1\n0\t1\n",        // duplicate vertex line
+		"V 3 undirected\n0\t1\n1\t0\n",        // missing vertex line
+		"V -1 undirected\n",                   // negative count
+		"V 999999999 undirected\n0\t\n",       // implausible count
+		"V 2 sideways\n0\t1\n1\t0\n",          // bad directivity
+		"V 2 undirected\n0\t9\n1\t0\n",        // neighbour out of range
+		"V 2 directed\n0\t1\n1\t0\n",          // missing in-list field
+		"V 2 undirected\nx\t1\n1\t0\n",        // bad id
+		"V 18446744073709551616 undirected\n", // count overflows
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := graph.ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, workers := range []int{2, 5} {
+			h, err := graph.ParseTextWorkers(data, workers)
+			if err != nil {
+				t.Fatalf("workers=%d rejected input the default parse accepted: %v", workers, err)
+			}
+			if !h.Equal(g) {
+				t.Fatalf("workers=%d produced a different graph", workers)
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := graph.WriteText(&buf, g); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		if got, want := int64(buf.Len()), graph.TextSize(g); got != want {
+			t.Fatalf("wrote %d bytes, TextSize says %d", got, want)
+		}
+		back, err := graph.ReadText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !back.Equal(g) {
+			t.Fatalf("round trip altered the graph")
+		}
+	})
+}

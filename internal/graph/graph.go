@@ -13,7 +13,10 @@ package graph
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 	"sort"
+	"sync"
 )
 
 // VertexID identifies a vertex. IDs are dense: every ID in
@@ -211,7 +214,248 @@ func (b *Builder) EdgeCount() int { return len(b.edges) }
 
 // Build assembles the CSR graph, sorting adjacency lists and removing
 // duplicates. The builder may be reused afterwards.
+//
+// The build is a parallel two-pass counting construction: per-worker
+// degree histograms over disjoint edge ranges, a prefix sum into global
+// offsets, a parallel scatter into the adjacency array, and finally a
+// parallel per-vertex sort+dedup. The result is canonical (every
+// adjacency list sorted and unique), so it is byte-identical regardless
+// of the worker count — see buildSequential for the reference
+// implementation it is tested against.
 func (b *Builder) Build() *Graph {
+	return b.build(buildWorkers(len(b.edges)))
+}
+
+// buildSeqThreshold is the edge count below which the parallel fan-out
+// costs more than it saves.
+const buildSeqThreshold = 1 << 15
+
+// maxBuildWorkers caps the fan-out and with it the per-worker histogram
+// memory (workers * n * 4 bytes per direction).
+const maxBuildWorkers = 16
+
+func buildWorkers(edges int) int {
+	if edges < buildSeqThreshold {
+		return 1
+	}
+	return min(runtime.GOMAXPROCS(0), maxBuildWorkers)
+}
+
+func (b *Builder) build(workers int) *Graph {
+	g := &Graph{directed: b.directed, n: b.n}
+	if b.directed {
+		g.offsets, g.adj = buildCSRCounting(b.n, b.edges, false, false, workers)
+		g.inOffsets, g.inAdj = buildCSRCounting(b.n, b.edges, true, false, workers)
+	} else {
+		// One symmetric pass counts and scatters both arc directions,
+		// instead of materialising a doubled edge array.
+		g.offsets, g.adj = buildCSRCounting(b.n, b.edges, false, true, workers)
+		if len(g.adj)%2 != 0 {
+			// Symmetric dedup removes (u,v)/(v,u) pairs together, so
+			// the adjacency entry count is always even.
+			panic("graph: undirected adjacency asymmetry")
+		}
+	}
+	return g
+}
+
+// parallelRanges runs fn over `workers` contiguous, disjoint subranges
+// of [0, total). The partition depends only on (total, workers), so two
+// phases that must visit identical ranges per worker (histogram and
+// scatter) agree by construction.
+func parallelRanges(total, workers int, fn func(p, lo, hi int)) {
+	if workers <= 1 || total == 0 {
+		fn(0, 0, total)
+		return
+	}
+	chunk := (total + workers - 1) / workers
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		lo := p * chunk
+		if lo >= total {
+			break
+		}
+		hi := min(lo+chunk, total)
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			fn(p, lo, hi)
+		}(p, lo, hi)
+	}
+	wg.Wait()
+}
+
+// buildCSRCounting builds offset + adjacency arrays from arcs with
+// duplicates removed. With reverse, arcs are keyed by destination; with
+// symmetric, every arc contributes both directions (undirected graphs).
+func buildCSRCounting(n int32, arcs []Edge, reverse, symmetric bool, workers int) ([]int64, []VertexID) {
+	P := workers
+	if P < 1 {
+		P = 1
+	}
+	// Bound per-worker histogram memory on huge vertex counts.
+	// 12 bytes per vertex per worker: the int32 histogram plus the
+	// int64 absolute cursor array.
+	for P > 1 && int64(P)*int64(n)*12 > 256<<20 {
+		P /= 2
+	}
+
+	// Pass 1: per-worker degree histograms over disjoint arc ranges.
+	counts := make([][]int32, P)
+	parallelRanges(len(arcs), P, func(p, lo, hi int) {
+		c := make([]int32, n)
+		for _, e := range arcs[lo:hi] {
+			s, d := e.Src, e.Dst
+			if reverse {
+				s, d = d, s
+			}
+			c[s]++
+			if symmetric {
+				c[d]++
+			}
+		}
+		counts[p] = c
+	})
+
+	// Sum the histograms into bucket sizes, prefix-sum into offsets,
+	// then expand each worker's histogram into absolute write cursors —
+	// one load+increment per scattered arc instead of an offset lookup
+	// plus a relative-cursor update.
+	offsets := make([]int64, int(n)+1)
+	parallelRanges(int(n), P, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			total := int64(0)
+			for p := 0; p < P; p++ {
+				// Workers past the end of a short arc slice never ran and
+				// left a nil histogram; they scatter nothing either.
+				if c := counts[p]; c != nil {
+					total += int64(c[v])
+				}
+			}
+			offsets[v+1] = total
+		}
+	})
+	for v := int32(0); v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	total := offsets[n]
+
+	cursors := make([][]int64, P)
+	for p := range counts {
+		if counts[p] != nil {
+			cursors[p] = make([]int64, n)
+		}
+	}
+	parallelRanges(int(n), P, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			at := offsets[v]
+			for p := 0; p < P; p++ {
+				if c := counts[p]; c != nil {
+					cursors[p][v] = at
+					at += int64(c[v])
+				}
+			}
+		}
+	})
+
+	// Pass 2: scatter. Worker p revisits exactly the arc range it
+	// counted, so its cursors line up and no write races: every slot is
+	// owned by one worker. Arc order is preserved within each bucket,
+	// but any order works — the sort below canonicalises.
+	adj := make([]VertexID, total)
+	parallelRanges(len(arcs), P, func(p, lo, hi int) {
+		cur := cursors[p]
+		for _, e := range arcs[lo:hi] {
+			s, d := e.Src, e.Dst
+			if reverse {
+				s, d = d, s
+			}
+			at := cur[s]
+			adj[at] = d
+			cur[s] = at + 1
+			if symmetric {
+				at = cur[d]
+				adj[at] = s
+				cur[d] = at + 1
+			}
+		}
+	})
+
+	// Pass 3: sort + dedup each bucket in place, in parallel over
+	// vertex ranges.
+	return canonicalizeCSR(n, offsets, adj, nil, P)
+}
+
+// canonicalizeCSR sorts and deduplicates every CSR bucket in place (in
+// parallel over vertex ranges) and compacts the arrays if anything
+// shrank. fill, when non-nil, gives the occupied prefix of each bucket
+// (the direct text parse leaves slack where lines carried self-loops);
+// nil means every bucket is full.
+func canonicalizeCSR(n int32, offsets []int64, adj []VertexID, fill []int32, workers int) ([]int64, []VertexID) {
+	newLen := make([]int32, n)
+	parallelRanges(int(n), workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			end := offsets[v+1]
+			if fill != nil {
+				end = offsets[v] + int64(fill[v])
+			}
+			list := adj[offsets[v]:end]
+			// Canonical input (files written by WriteText, scatter of a
+			// duplicate-free edge list in file order) arrives strictly
+			// increasing; a single comparison pass then skips both the
+			// sort and the dedup rewrite.
+			increasing := true
+			for i := 1; i < len(list); i++ {
+				if list[i] <= list[i-1] {
+					increasing = false
+					break
+				}
+			}
+			if increasing {
+				newLen[v] = int32(len(list))
+				continue
+			}
+			slices.Sort(list)
+			w := 0
+			for i, x := range list {
+				if i == 0 || x != list[i-1] {
+					list[w] = x
+					w++
+				}
+			}
+			newLen[v] = int32(w)
+		}
+	})
+
+	var total2 int64
+	for _, l := range newLen {
+		total2 += int64(l)
+	}
+	if total2 == offsets[n] {
+		// No duplicates or slack anywhere: already compact.
+		return offsets, adj
+	}
+
+	// Compact into fresh arrays (in-place compaction would race across
+	// worker boundaries).
+	fOffsets := make([]int64, int(n)+1)
+	for v := int32(0); v < n; v++ {
+		fOffsets[v+1] = fOffsets[v] + int64(newLen[v])
+	}
+	fAdj := make([]VertexID, total2)
+	parallelRanges(int(n), workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			src := adj[offsets[v] : offsets[v]+int64(newLen[v])]
+			copy(fAdj[fOffsets[v]:fOffsets[v+1]], src)
+		}
+	})
+	return fOffsets, fAdj
+}
+
+// buildSequential is the original single-goroutine, sort-based build,
+// kept as the reference implementation the parallel build is tested
+// against (see TestParallelBuildEquivalence).
+func (b *Builder) buildSequential() *Graph {
 	g := &Graph{directed: b.directed, n: b.n}
 
 	// For undirected graphs, materialise both directions.
@@ -222,15 +466,12 @@ func (b *Builder) Build() *Graph {
 			arcs = append(arcs, e, Edge{e.Dst, e.Src})
 		}
 	}
-	g.offsets, g.adj = buildCSR(b.n, arcs, false)
+	g.offsets, g.adj = buildCSRSequential(b.n, arcs, false)
 	if b.directed {
-		g.inOffsets, g.inAdj = buildCSR(b.n, arcs, true)
+		g.inOffsets, g.inAdj = buildCSRSequential(b.n, arcs, true)
 	}
 
 	if !b.directed {
-		// Undirected dedup may leave an odd asymmetry only if the
-		// input contained both (u,v) and (v,u); CSR dedup handles it
-		// symmetrically, so adjacency entry count is always even.
 		if len(g.adj)%2 != 0 {
 			panic("graph: undirected adjacency asymmetry")
 		}
@@ -238,9 +479,10 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
-// buildCSR sorts arcs by source (or destination when reverse is true)
-// and builds offset + adjacency arrays with duplicates removed.
-func buildCSR(n int32, arcs []Edge, reverse bool) ([]int64, []VertexID) {
+// buildCSRSequential sorts arcs by source (or destination when reverse
+// is true) and builds offset + adjacency arrays with duplicates
+// removed.
+func buildCSRSequential(n int32, arcs []Edge, reverse bool) ([]int64, []VertexID) {
 	key := func(e Edge) (VertexID, VertexID) {
 		if reverse {
 			return e.Dst, e.Src
@@ -248,9 +490,6 @@ func buildCSR(n int32, arcs []Edge, reverse bool) ([]int64, []VertexID) {
 		return e.Src, e.Dst
 	}
 
-	// Counting sort by source for O(E) bucketing, then sort each
-	// adjacency list. This is much faster than a global sort for the
-	// multi-million-edge datasets.
 	counts := make([]int64, n+1)
 	for _, e := range arcs {
 		s, _ := key(e)

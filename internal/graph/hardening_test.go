@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestReadTextHardening covers the malformed inputs the strict reader
+// must reject beyond the classic cases in TestReadTextErrors: duplicate
+// and missing vertex lines, header/body disagreement, and hostile
+// headers that must fail before any O(n) allocation.
+func TestReadTextHardening(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"duplicate vertex line", "V 2 undirected\n0\t1\n0\t1\n", "duplicate vertex line for id 0"},
+		{"missing vertex line", "V 3 undirected\n0\t1\n1\t0,2\n", "2 vertex lines, header declares 3"},
+		{"extra vertex line", "V 1 undirected\n0\t\n0\t\n", "duplicate vertex line"},
+		{"negative count", "V -1 undirected\n", "negative vertex count"},
+		{"count overflow", "V 18446744073709551616 undirected\n", "bad vertex count"},
+		{"implausible count", "V 999999999 undirected\n0\t\n", "only"},
+		{"implausible count directed", "V 888888888 directed\n0\t\t\n", "only"},
+		{"in-list out of range", "V 2 directed\n0\t9\t1\n1\t\t\n", "out of range"},
+		{"in-list bad token", "V 2 directed\n0\tzap\t1\n1\t\t\n", "bad neighbour"},
+		{"too many fields", "V 1 undirected\n0\t\t\t\n", "fields"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadText(bytes.NewBufferString(tc.in))
+			if err == nil {
+				t.Fatalf("ReadText(%q) succeeded, want error containing %q", tc.in, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ReadText(%q) = %v, want error containing %q", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestReadTextErrorLineNumbers checks that parse errors report the line
+// of the offending vertex in file coordinates, comments included.
+func TestReadTextErrorLineNumbers(t *testing.T) {
+	in := "# leading comment\nV 3 undirected\n0\t1\n1\tbogus\n2\t\n"
+	_, err := ReadText(bytes.NewBufferString(in))
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %v, want it to name line 4", err)
+	}
+}
+
+// TestReadTextCrossChunkDuplicate forces multi-chunk parsing on an
+// input whose duplicate vertex lines land in different chunks, so the
+// duplicate can only be caught by the bitmap merge.
+func TestReadTextCrossChunkDuplicate(t *testing.T) {
+	const n = 64
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "V %d undirected\n", n)
+	for v := 0; v < n; v++ {
+		fmt.Fprintf(&sb, "%d\t\n", v)
+	}
+	good := sb.String()
+	// Replace the final line's ID with 0: first and last chunk now both
+	// claim vertex 0, and the line count still matches the header.
+	bad := strings.Replace(good, fmt.Sprintf("\n%d\t\n", n-1), "\n0\t\n", 1)
+
+	if _, err := parseText([]byte(good), 8); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	_, err := parseText([]byte(bad), 8)
+	if err == nil || !strings.Contains(err.Error(), "duplicate vertex line for id 0") {
+		t.Fatalf("got %v, want duplicate-vertex error for id 0", err)
+	}
+}
+
+// TestReadTextAccepts covers lenient-but-valid inputs: comments between
+// vertex lines, CRLF endings, and empty neighbour lists.
+func TestReadTextAccepts(t *testing.T) {
+	cases := []struct {
+		name, in string
+		v        int
+		e        int64
+	}{
+		{"comments between lines", "V 2 undirected\n# mid\n0\t1\n1\t0\n", 2, 1},
+		{"crlf", "V 2 undirected\r\n0\t1\r\n1\t0\r\n", 2, 1},
+		{"empty lists", "V 2 directed\n0\t\t\n1\t\t\n", 2, 0},
+		{"self loop dropped", "V 2 undirected\n0\t0,1\n1\t1,0\n", 2, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := ReadText(bytes.NewBufferString(tc.in))
+			if err != nil {
+				t.Fatalf("ReadText(%q): %v", tc.in, err)
+			}
+			if g.NumVertices() != tc.v || g.NumEdges() != tc.e {
+				t.Fatalf("got V=%d E=%d, want V=%d E=%d",
+					g.NumVertices(), g.NumEdges(), tc.v, tc.e)
+			}
+		})
+	}
+}
+
+// TestAddEdgeOutOfRangePanics pins the Builder's validation contract:
+// out-of-range endpoints panic with a message naming the offending edge
+// and the valid range, so generator bugs fail loudly and diagnosably.
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		u, v VertexID
+	}{
+		{"src too large", 5, 1},
+		{"dst too large", 1, 5},
+		{"src negative", -1, 1},
+		{"dst negative", 1, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder(5, true)
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("AddEdge(%d,%d) did not panic", tc.u, tc.v)
+				}
+				msg := fmt.Sprint(r)
+				want := fmt.Sprintf("edge (%d,%d) out of range [0,5)", tc.u, tc.v)
+				if !strings.Contains(msg, want) {
+					t.Fatalf("panic %q, want it to contain %q", msg, want)
+				}
+			}()
+			b.AddEdge(tc.u, tc.v)
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package hdfs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(100, false)
+	for i := 0; i < 99; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	return b.Build()
+}
+
+// TestDatasetBytes checks that the two formats report the exact
+// serialised sizes — the quantity the ingest model charges for.
+func TestDatasetBytes(t *testing.T) {
+	g := testGraph(t)
+
+	var text bytes.Buffer
+	if err := graph.WriteText(&text, g); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := DatasetBytes(g, FormatText), int64(text.Len()); got != want {
+		t.Fatalf("DatasetBytes(text) = %d, want %d", got, want)
+	}
+
+	var bin bytes.Buffer
+	if err := graph.WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := DatasetBytes(g, FormatBinary), int64(bin.Len()); got != want {
+		t.Fatalf("DatasetBytes(binary) = %d, want %d", got, want)
+	}
+
+	if FormatText.String() == FormatBinary.String() {
+		t.Fatal("format names must differ")
+	}
+}
+
+// TestPutGraph checks the graph-aware Put: sizes come from the chosen
+// format, explicit block counts are honoured, and blocks < 1 falls back
+// to the block-size default.
+func TestPutGraph(t *testing.T) {
+	g := testGraph(t)
+	fs := New()
+
+	f := fs.PutGraph("text.graph", g, FormatText, 8)
+	if f.Size != DatasetBytes(g, FormatText) {
+		t.Fatalf("text size = %d, want %d", f.Size, DatasetBytes(g, FormatText))
+	}
+	if f.Blocks != 8 {
+		t.Fatalf("blocks = %d, want 8", f.Blocks)
+	}
+
+	f = fs.PutGraph("snap.gcsr", g, FormatBinary, 0)
+	if f.Size != DatasetBytes(g, FormatBinary) {
+		t.Fatalf("binary size = %d, want %d", f.Size, DatasetBytes(g, FormatBinary))
+	}
+	if f.Blocks != 1 {
+		t.Fatalf("blocks = %d, want 1 (size default)", f.Blocks)
+	}
+
+	if _, ok := fs.Stat("text.graph"); !ok {
+		t.Fatal("text.graph not stored")
+	}
+	if _, ok := fs.Stat("snap.gcsr"); !ok {
+		t.Fatal("snap.gcsr not stored")
+	}
+}

@@ -11,7 +11,39 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/graph"
 )
+
+// Format identifies the on-disk encoding of a dataset stored in the
+// DFS: the paper's plain-text interchange format (Section 2.2.1), or
+// the binary CSR snapshot format used by the ingest cache.
+type Format int
+
+const (
+	// FormatText is the paper's plain-text format ("plain text with a
+	// processing-friendly format but without indexes").
+	FormatText Format = iota
+	// FormatBinary is the versioned binary CSR snapshot format
+	// (internal/graph WriteBinary/ReadBinary).
+	FormatBinary
+)
+
+func (f Format) String() string {
+	if f == FormatBinary {
+		return "binary"
+	}
+	return "text"
+}
+
+// DatasetBytes returns the on-disk size of g in the given format,
+// without materialising the file. It is the size the DFS charges for
+// storing and ingesting the dataset.
+func DatasetBytes(g *graph.Graph, f Format) int64 {
+	if f == FormatBinary {
+		return graph.BinarySize(g)
+	}
+	return graph.TextSize(g)
+}
 
 // DefaultBlockSize is the paper's default HDFS block size (64 MB).
 const DefaultBlockSize = 64 << 20
@@ -68,6 +100,18 @@ func (fs *FS) PutBlocks(name string, size int64, blocks int) File {
 	fs.bytesWritten += size * int64(fs.replication)
 	fs.mu.Unlock()
 	return f
+}
+
+// PutGraph stores a dataset in the given on-disk format, splitting it
+// into the requested number of blocks (blocks < 1 falls back to the
+// block-size default). It is the binary-path-aware counterpart of Put
+// for graph datasets.
+func (fs *FS) PutGraph(name string, g *graph.Graph, f Format, blocks int) File {
+	size := DatasetBytes(g, f)
+	if blocks < 1 {
+		return fs.Put(name, size)
+	}
+	return fs.PutBlocks(name, size, blocks)
 }
 
 // Stat returns the file metadata.

@@ -228,7 +228,7 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 		parts := make([][]KV, nReds)
 		off := 0
 		for p := 0; p < nReds; p++ {
-			parts[p] = backing[off:off:off+counts[p]]
+			parts[p] = backing[off : off : off+counts[p]]
 			off += counts[p]
 		}
 		for _, kv := range em.records {

@@ -1,0 +1,129 @@
+package perf
+
+// This file defines the ingest baseline: the tracked benchmarks for the
+// data-ingest pipeline (text parse + CSR build, binary snapshot
+// write/load). The paper charges ingest to every platform run (Section
+// 2.2.1 text format, Table 6 ingestion times), so ingest cost is
+// tracked with the same before/after discipline as the engine hot paths
+// in perf.go.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/hdfs"
+)
+
+// IngestScale pins the ingest suite's dataset scale. Unlike the engine
+// suite (BaselineScale), ingest entries run at the standard dataset
+// scale: parse throughput only stabilises on multi-megabyte inputs.
+const IngestScale = 1
+
+// ingestEntries builds the ingest benchmarks for one dataset profile.
+func ingestEntries(name string, seed int64, hw cluster.Hardware) []Bench {
+	g := mustGraph(name, IngestScale, seed)
+
+	var text bytes.Buffer
+	if err := graph.WriteText(&text, g); err != nil {
+		panic(err)
+	}
+	textBytes := text.Bytes()
+	var bin bytes.Buffer
+	if err := graph.WriteBinary(&bin, g); err != nil {
+		panic(err)
+	}
+	binBytes := bin.Bytes()
+
+	// A pre-recorded edge list isolates the CSR build from parsing.
+	edges := graph.NewBuilder(g.NumVertices(), g.Directed())
+	g.Edges(func(e graph.Edge) { edges.AddEdge(e.Src, e.Dst) })
+
+	lower := name
+	for i, r := range lower {
+		if r >= 'A' && r <= 'Z' {
+			lower = lower[:i] + string(r+'a'-'A') + lower[i+1:]
+		}
+	}
+
+	return []Bench{
+		{
+			// Full text ingest: parse the paper's interchange format and
+			// build the CSR — what every experiment run pays without a
+			// snapshot cache.
+			Name:  "ingest-textparse-" + lower,
+			Bytes: int64(len(textBytes)),
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := graph.ReadText(bytes.NewReader(textBytes)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			Sim: func() float64 {
+				return hdfs.IngestSeconds(hdfs.DatasetBytes(g, hdfs.FormatText), hw)
+			},
+		},
+		{
+			// CSR build alone, from an in-memory edge list.
+			Name: "ingest-csrbuild-" + lower,
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = edges.Build()
+				}
+			},
+		},
+		{
+			Name:  "ingest-binarywrite-" + lower,
+			Bytes: int64(len(binBytes)),
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := graph.WriteBinary(io.Discard, g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name:  "ingest-binaryload-" + lower,
+			Bytes: int64(len(binBytes)),
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := graph.ReadBinary(bytes.NewReader(binBytes)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			Sim: func() float64 {
+				return hdfs.IngestSeconds(hdfs.DatasetBytes(g, hdfs.FormatBinary), hw)
+			},
+		},
+	}
+}
+
+// IngestSuite returns the fixed ingest benchmark set: the dense
+// DotaLeague profile (average degree ~1663 in the paper — the
+// worst-case neighbour-list parse) and the sparse Friendster profile
+// (many vertices, short lines). Entry names are stable identifiers
+// recorded in BENCH_pr3.json.
+func IngestSuite(seed int64) []Bench {
+	hw := cluster.DAS4(20, 1)
+	out := ingestEntries("DotaLeague", seed, hw)
+	out = append(out, ingestEntries("Friendster", seed, hw)...)
+	return out
+}
+
+// WriteIngestBaseline measures the ingest suite and merges the results
+// into path under the given phase, like WriteBaseline does for the
+// engine suite.
+func WriteIngestBaseline(path, phase string) (*Baseline, error) {
+	return writeSuiteBaseline(path, phase,
+		"graphbench tracked ingest baseline: text parse, CSR build, binary snapshot (see internal/perf/ingest.go)",
+		IngestScale, func() map[string]*Metrics { return MeasureSuite(IngestSuite(BaselineSeed)) })
+}

@@ -44,6 +44,9 @@ type Metrics struct {
 	NsPerOp     float64 `json:"ns_op"`
 	BytesPerOp  int64   `json:"b_op"`
 	AllocsPerOp int64   `json:"allocs_op"`
+	// MBPerSec is the processing throughput for entries that declare a
+	// per-op byte volume (the ingest suite), in MB/s.
+	MBPerSec float64 `json:"mb_s,omitempty"`
 	// SimSeconds is the simulated DAS-4 job time for macro entries
 	// (zero for micro entries, where only the Go-level cost matters).
 	SimSeconds float64 `json:"sim_seconds,omitempty"`
@@ -61,6 +64,7 @@ type Record struct {
 type Baseline struct {
 	Description string             `json:"description"`
 	GoVersion   string             `json:"go_version"`
+	GoMaxProcs  int                `json:"gomaxprocs,omitempty"`
 	Scale       int                `json:"scale"`
 	Seed        int64              `json:"seed"`
 	Benchmarks  map[string]*Record `json:"benchmarks"`
@@ -70,17 +74,25 @@ type Baseline struct {
 type Bench struct {
 	Name string
 	Run  func(b *testing.B)
+	// Bytes, when non-zero, is the input volume one op processes; it
+	// turns ns/op into a MB/s throughput figure.
+	Bytes int64
 	// Sim, when non-nil, reports the simulated cluster seconds of one
 	// run through the cost model.
 	Sim func() float64
 }
+
+// CacheDir, when non-empty, makes dataset generation go through the
+// binary snapshot cache (datagen.Profile.GenerateCached), so repeated
+// suite runs skip regeneration. Set by cmd/graphbench from -cache.
+var CacheDir string
 
 func mustGraph(name string, scale int, seed int64) *graph.Graph {
 	p, err := datagen.ByName(name)
 	if err != nil {
 		panic(err)
 	}
-	return p.GenerateScaled(scale, seed)
+	return p.GenerateCached(scale, seed, CacheDir)
 }
 
 // connRoundConfig is a bounded min-label propagation used by the
@@ -301,14 +313,22 @@ func Suite(scale int, seed int64) []Bench {
 
 // Measure runs the fixed suite once and returns the results by name.
 func Measure(scale int, seed int64) map[string]*Metrics {
+	return MeasureSuite(Suite(scale, seed))
+}
+
+// MeasureSuite runs an arbitrary benchmark set once.
+func MeasureSuite(suite []Bench) map[string]*Metrics {
 	out := make(map[string]*Metrics)
-	for _, bm := range Suite(scale, seed) {
+	for _, bm := range suite {
 		r := testing.Benchmark(bm.Run)
 		m := &Metrics{
 			NsPerOp:     float64(r.NsPerOp()),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 			BenchN:      r.N,
+		}
+		if bm.Bytes > 0 && m.NsPerOp > 0 {
+			m.MBPerSec = float64(bm.Bytes) / m.NsPerOp * 1e3
 		}
 		if bm.Sim != nil {
 			m.SimSeconds = bm.Sim()
@@ -348,6 +368,12 @@ func Load(path string) (*Baseline, error) {
 // under the given phase ("before" or "after"), creating the file if
 // needed. It returns the updated document.
 func WriteBaseline(path, phase string) (*Baseline, error) {
+	return writeSuiteBaseline(path, phase,
+		"graphbench tracked perf baseline: fixed micro+macro suite (see internal/perf)",
+		BaselineScale, func() map[string]*Metrics { return Measure(BaselineScale, BaselineSeed) })
+}
+
+func writeSuiteBaseline(path, phase, description string, scale int, measure func() map[string]*Metrics) (*Baseline, error) {
 	if phase != "before" && phase != "after" {
 		return nil, fmt.Errorf("perf: phase must be \"before\" or \"after\", got %q", phase)
 	}
@@ -355,7 +381,9 @@ func WriteBaseline(path, phase string) (*Baseline, error) {
 	if err != nil {
 		return nil, err
 	}
-	for name, m := range Measure(BaselineScale, BaselineSeed) {
+	bl.Description = description
+	bl.Scale = scale
+	for name, m := range measure() {
 		rec := bl.Benchmarks[name]
 		if rec == nil {
 			rec = &Record{}
@@ -368,6 +396,7 @@ func WriteBaseline(path, phase string) (*Baseline, error) {
 		}
 	}
 	bl.GoVersion = runtime.Version()
+	bl.GoMaxProcs = runtime.GOMAXPROCS(0)
 	data, err := json.MarshalIndent(bl, "", "  ")
 	if err != nil {
 		return nil, err

@@ -28,6 +28,9 @@ type Runner struct {
 	Scale int
 	// Repetitions per measurement (the paper uses 10).
 	Repetitions int
+	// CacheDir, when non-empty, enables the on-disk binary snapshot
+	// cache for generated datasets (see internal/datagen).
+	CacheDir string
 
 	graphs map[string]*graph.Graph
 }
@@ -63,7 +66,7 @@ func (r *Runner) graph(dataset string) (*graph.Graph, error) {
 	if r.graphs == nil {
 		r.graphs = make(map[string]*graph.Graph)
 	}
-	g := prof.GenerateScaled(r.scale(), r.Seed)
+	g := prof.GenerateCached(r.scale(), r.Seed, r.CacheDir)
 	r.graphs[dataset] = g
 	return g, nil
 }

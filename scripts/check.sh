@@ -14,11 +14,17 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race -short (engines)"
+echo "== go test -race -short (engines + ingest)"
 go test -race -short \
     ./internal/pregel/... \
     ./internal/gas/... \
     ./internal/mapreduce/... \
-    ./internal/dataflow/...
+    ./internal/dataflow/... \
+    ./internal/graph/...
+
+echo "== fuzz seed smoke (graph text reader)"
+# Run every checked-in fuzz seed (plus any locally grown corpus)
+# through the fuzz targets once, without fuzzing for new inputs.
+go test -run 'Fuzz' ./internal/graph/
 
 echo "ok"
