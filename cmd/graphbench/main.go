@@ -6,21 +6,25 @@
 //	graphbench [flags] table <2|3|4|5|6|7|8>
 //	graphbench [flags] figure <1|2|3|4|5-7|8-10|11|12|13|14|15|16> [dataset]
 //	graphbench [flags] run <platform> <algorithm> <dataset>
-//	graphbench [flags] curves <platform>
+//	graphbench [flags] curves <platform> [measured]
+//	graphbench bench-check [baseline.json ...]
 //	graphbench [flags] all
 //
 // Flags:
 //
-//	-scale N   extra down-scaling of every dataset (default 1; try 40
-//	           for a quick pass)
-//	-seed N    generation seed (default 42)
-//	-nodes N   cluster size for `run` (default 20)
-//	-cores N   cores per node for `run` (default 1)
+//	-scale N     extra down-scaling of every dataset (default 1; try 40
+//	             for a quick pass)
+//	-seed N      generation seed (default 42)
+//	-nodes N     cluster size for `run` (default 20)
+//	-cores N     cores per node for `run` (default 1)
+//	-trace F     write the run's spans as a Chrome trace_event file
+//	-metrics F   write the run's counters and resource samples as JSON
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
@@ -28,6 +32,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/platform"
 	"repro/internal/process"
@@ -41,10 +46,16 @@ func main() {
 	cores := flag.Int("cores", 1, "cores per node for `run`")
 	cache := flag.String("cache", os.Getenv("GRAPHBENCH_CACHE"),
 		"dataset snapshot cache directory (empty disables; default $GRAPHBENCH_CACHE)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run's spans (open in chrome://tracing or Perfetto)")
+	metricsOut := flag.String("metrics", "", "write the run's counters, gauges, and resource samples as JSON")
 	flag.Parse()
 
 	perf.CacheDir = *cache
-	h := bench.New(bench.Config{Seed: *seed, Scale: *scale, CacheDir: *cache})
+	var sess *obs.Session
+	if *traceOut != "" || *metricsOut != "" {
+		sess = obs.NewSession(obs.Options{})
+	}
+	h := bench.New(bench.Config{Seed: *seed, Scale: *scale, CacheDir: *cache, Obs: sess})
 	emitCSV = *csv
 	args := flag.Args()
 	if len(args) == 0 {
@@ -75,7 +86,13 @@ func main() {
 		}
 	case "curves":
 		need(args, 2)
-		tr := h.Curves(args[1])
+		var tr monitor.Trace
+		if len(args) > 2 && args[2] == "measured" {
+			tr = h.MeasuredCurves(args[1])
+		} else {
+			tr = h.Curves(args[1])
+		}
+		fmt.Printf("# platform=%s source=%s\n", tr.Platform, tr.Source)
 		fmt.Println("point,master_cpu,master_mem_gb,master_net_mbps,compute_cpu,compute_mem_gb,compute_net_mbps")
 		for i := 0; i < monitor.Points; i++ {
 			fmt.Printf("%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", i,
@@ -163,6 +180,21 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Printf("wrote %s (%s)\n\n%s", out, phase, bl.Summary())
+	case "bench-check":
+		files := args[1:]
+		if len(files) == 0 {
+			files = []string{"BENCH_pr2.json", "BENCH_pr3.json"}
+		}
+		results, err := perf.Check(files)
+		if err != nil {
+			fatal("%v", err)
+		}
+		table, failed := perf.RenderCheck(results)
+		fmt.Print(table)
+		if failed {
+			fatal("bench-check: performance regression detected")
+		}
+		fmt.Println("bench-check: all benchmarks within tolerance")
 	case "all":
 		for _, t := range []string{"2", "3", "4", "5", "6", "7", "8"} {
 			printTable(h, t)
@@ -180,6 +212,34 @@ func main() {
 		}
 	default:
 		usage()
+	}
+
+	if sess != nil {
+		sess.Close()
+		if *traceOut != "" {
+			writeFile(*traceOut, sess.T().WriteChromeTrace)
+			fmt.Fprintf(os.Stderr, "trace: wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+		}
+		if *metricsOut != "" {
+			writeFile(*metricsOut, sess.WriteMetricsJSON)
+			fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", *metricsOut)
+		}
+	}
+}
+
+// writeFile creates path and streams one of the session exporters into
+// it.
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("%v", err)
 	}
 }
 
@@ -258,18 +318,21 @@ func usage() {
   graphbench [flags] table <2-8>
   graphbench [flags] figure <1-16> [dataset]
   graphbench [flags] run <platform> <algorithm> <dataset>
-  graphbench [flags] curves <platform>
+  graphbench [flags] curves <platform> [measured]
   graphbench [flags] findings
   graphbench [flags] explore <platform>
   graphbench [flags] loadtest <platform> <algorithm> <dataset>
   graphbench [flags] predict <platform> <algorithm> <dataset>
   graphbench bench-baseline <before|after> [file]
   graphbench bench-ingest <before|after> [file]
+  graphbench bench-check [baseline.json ...]
   graphbench [flags] all
 
 flags of note:
   -cache DIR   cache generated datasets as binary CSR snapshots in DIR
                (default $GRAPHBENCH_CACHE; empty disables)
+  -trace F     write the run's spans as a Chrome trace_event file
+  -metrics F   write the run's counters and resource samples as JSON
 
 platforms:  Hadoop YARN Stratosphere Giraph GraphLab GraphLab(mp) Neo4j
 algorithms: STATS BFS CONN CD EVO

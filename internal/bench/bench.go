@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -32,6 +33,9 @@ type Config struct {
 	// harness runs load graphs with one block read instead of
 	// regenerating them.
 	CacheDir string
+	// Obs, when non-nil, is handed to every run so the engines emit
+	// real spans and counters into it (see internal/obs).
+	Obs *obs.Session
 }
 
 // DefaultConfig is the standard full-scale configuration.
@@ -103,6 +107,7 @@ func (h *Harness) Run(platformName, alg, dataset string, hw cluster.Hardware) *p
 	r := p.Run(platform.Spec{
 		Algorithm: alg, Dataset: prof, G: g, HW: hw,
 		Params: params, WarmCache: true, ScaleFactor: h.cfg.Scale,
+		Obs: h.cfg.Obs,
 	})
 	h.mu.Lock()
 	h.results[key] = r

@@ -2,11 +2,14 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/algo"
 	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/metrics"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/platform"
 )
 
@@ -171,6 +174,35 @@ func (h *Harness) Figures8to10() Table {
 // Curves returns the full 100-point resource curves for one platform
 // (for CSV export by cmd/graphbench).
 func (h *Harness) Curves(p string) monitor.Trace { return h.resourceTrace(p) }
+
+// MeasuredCurves re-runs BFS on DotaLeague for one platform inside a
+// dedicated observability session and returns curves interpolated from
+// the real process samples — the measured counterpart to the modelled
+// Curves. The run bypasses the harness result cache (a cached result
+// records nothing) and samples fast so even short runs land enough
+// points to interpolate.
+func (h *Harness) MeasuredCurves(p string) monitor.Trace {
+	pl, err := platform.ByName(p)
+	if err != nil {
+		panic(err)
+	}
+	prof, err := datagen.ByName("DotaLeague")
+	if err != nil {
+		panic(err)
+	}
+	g := h.Graph("DotaLeague")
+	params := algo.DefaultParams(h.cfg.Seed)
+	params.BFSSource = algo.PickSource(g, h.cfg.Seed)
+
+	sess := obs.NewSession(obs.Options{SampleInterval: 200 * time.Microsecond})
+	pl.Run(platform.Spec{
+		Algorithm: platform.BFS, Dataset: prof, G: g, HW: BaseHW(),
+		Params: params, WarmCache: true, ScaleFactor: h.cfg.Scale,
+		Obs: sess,
+	})
+	sess.Close()
+	return monitor.Measured(p, sess.Sampler.Samples())
+}
 
 // horizontalPlatforms lists the platforms of Figure 11 per dataset.
 func horizontalPlatforms(dataset string) []string {

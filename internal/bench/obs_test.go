@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/obs"
+)
+
+// TestObsSessionCapturesRun is the acceptance check of the obs layer:
+// a BFS run on DotaLeague through a session must produce a
+// Perfetto-loadable trace with superstep spans nested inside the run
+// span, and real pregel counters in the registry.
+func TestObsSessionCapturesRun(t *testing.T) {
+	sess := obs.NewSession(obs.Options{SampleInterval: 200 * time.Microsecond})
+	h := New(Config{Seed: 42, Scale: 40, Obs: sess})
+	r := h.Run("Giraph", "BFS", "DotaLeague", BaseHW())
+	sess.Close()
+	if r.Err != nil {
+		t.Fatalf("run failed: %v", r.Err)
+	}
+
+	// Spans: one run span, one superstep span per executed superstep,
+	// each nested inside the run span.
+	spans := sess.Tracer.Export()
+	var run *obs.SpanRecord
+	supersteps := 0
+	for i := range spans {
+		switch spans[i].Kind {
+		case "run":
+			run = &spans[i]
+		case "superstep":
+			supersteps++
+		}
+	}
+	if run == nil {
+		t.Fatal("no run span recorded")
+	}
+	if supersteps == 0 {
+		t.Fatal("no superstep spans recorded")
+	}
+	for _, s := range spans {
+		if s.Kind != "superstep" {
+			continue
+		}
+		if s.ParentID != run.ID {
+			t.Errorf("superstep #%d parent = %d, want run span %d", s.Index, s.ParentID, run.ID)
+		}
+		if s.StartNs < run.StartNs || s.EndNs > run.EndNs {
+			t.Errorf("superstep #%d [%d,%d] not contained in run [%d,%d]",
+				s.Index, s.StartNs, s.EndNs, run.StartNs, run.EndNs)
+		}
+	}
+
+	// The Chrome export must be valid JSON with one event per span.
+	var buf bytes.Buffer
+	if err := sess.Tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(spans) {
+		t.Errorf("trace has %d events, want %d", len(doc.TraceEvents), len(spans))
+	}
+
+	// Counters: the engines must have reported real work.
+	snap := sess.Metrics.Snapshot()
+	for _, name := range []string{"pregel.supersteps", "pregel.messages", "pregel.compute_calls"} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if got := snap.Counters["pregel.supersteps"]; got != int64(supersteps) {
+		t.Errorf("pregel.supersteps = %d but %d superstep spans recorded", got, supersteps)
+	}
+}
+
+// TestMeasuredCurves checks the harness's measured-resource path: the
+// curves must be flagged as measured and reflect real samples.
+func TestMeasuredCurves(t *testing.T) {
+	h := New(Config{Seed: 42, Scale: 40})
+	tr := h.MeasuredCurves("Giraph")
+	if tr.Source != monitor.SourceMeasured {
+		t.Fatalf("Source = %q, want %q", tr.Source, monitor.SourceMeasured)
+	}
+	if tr.Platform != "Giraph" {
+		t.Fatalf("Platform = %q", tr.Platform)
+	}
+	if monitor.Max(tr.Compute.MemGB) <= 0 {
+		t.Error("measured memory curve is all zero")
+	}
+	if monitor.Max(tr.Compute.CPU) <= 0 {
+		t.Error("measured CPU (goroutine) curve is all zero")
+	}
+}

@@ -18,6 +18,8 @@ package cluster
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Hardware describes a simulated deployment. The defaults mirror
@@ -160,6 +162,22 @@ type ExecutionProfile struct {
 
 	// Iterations is the number of algorithm iterations executed.
 	Iterations int
+
+	// Obs, when non-nil, is the observability session the engines
+	// report real spans and counters into (see internal/obs). The
+	// profile already travels from the platform layer into every
+	// engine, so it doubles as the carrier for live instrumentation;
+	// a nil Obs keeps every tracing call a single branch.
+	Obs *obs.Session
+}
+
+// Session returns the profile's observability session; safe on a nil
+// profile (engines accept profile == nil).
+func (p *ExecutionProfile) Session() *obs.Session {
+	if p == nil {
+		return nil
+	}
+	return p.Obs
 }
 
 // AddPhase appends a phase.

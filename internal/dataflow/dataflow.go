@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // Value is a record payload; Size reports serialised bytes.
@@ -227,10 +228,19 @@ func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
 		Jobs: 1, Tasks: len(p.nodes) * par / max(1, len(p.nodes)),
 	})
 
+	// Observability: one plan span, one child span per operator
+	// (nil single-branch no-ops without a session).
+	sess := e.Profile.Session()
+	tr := sess.T()
+	reg := sess.R()
+	planSpan := tr.Begin(p.name, obs.KindJob, reg.Counter("dataflow.plans").Get(), obs.SpanRef{})
+	defer tr.End(planSpan)
+
 	results := make([]*interim, len(p.nodes))
 	var outputs []Dataset
 
 	for _, n := range p.nodes {
+		opSpan := tr.Begin(n.name, obs.KindOperator, int64(n.id), planSpan)
 		switch n.kind {
 		case opSource:
 			parts := partition(n.source, par)
@@ -267,7 +277,7 @@ func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
 				mu.Unlock()
 			})
 			results[n.id] = out
-			e.addCompute(n, ops, maxOps)
+			e.addCompute(n, out, ops, maxOps)
 
 		case opReduce:
 			in := e.channel(n, results[n.inputs[0].id], true)
@@ -291,7 +301,7 @@ func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
 				mu.Unlock()
 			})
 			results[n.id] = out
-			e.addCompute(n, ops, maxOps)
+			e.addCompute(n, out, ops, maxOps)
 
 		case opMatch, opCoGroup:
 			left := e.channel(n, results[n.inputs[0].id], true)
@@ -314,7 +324,7 @@ func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
 				mu.Unlock()
 			})
 			results[n.id] = out
-			e.addCompute(n, ops, maxOps)
+			e.addCompute(n, out, ops, maxOps)
 
 		case opCross:
 			left := results[n.inputs[0].id]
@@ -349,7 +359,7 @@ func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
 				mu.Unlock()
 			})
 			results[n.id] = out
-			e.addCompute(n, ops, maxOps)
+			e.addCompute(n, out, ops, maxOps)
 
 		case opSink:
 			in := results[n.inputs[0].id]
@@ -363,7 +373,9 @@ func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
 			outputs = append(outputs, flat)
 			results[n.id] = in
 		}
+		tr.End(opSpan)
 	}
+	reg.Counter("dataflow.plans").Add(1)
 	return outputs, nil
 }
 
@@ -394,6 +406,7 @@ func (e *Engine) channel(n *Node, in *interim, needKeyed bool) *interim {
 			Name: n.name + ":file-channel", Kind: cluster.PhaseShuffle,
 			DiskWrite: in.bytes, DiskRead: in.bytes,
 		})
+		e.Profile.Session().R().Counter("dataflow.shuffle_bytes").Add(in.bytes)
 	default:
 		remote := in.bytes
 		if e.HW.Nodes > 1 {
@@ -403,6 +416,7 @@ func (e *Engine) channel(n *Node, in *interim, needKeyed bool) *interim {
 			Name: n.name + ":shuffle", Kind: cluster.PhaseShuffle,
 			Net: remote,
 		})
+		e.Profile.Session().R().Counter("dataflow.shuffle_bytes").Add(remote)
 	}
 	par := len(in.parts)
 	flat := flatten(in.parts)
@@ -410,11 +424,15 @@ func (e *Engine) channel(n *Node, in *interim, needKeyed bool) *interim {
 		records: in.records, bytes: in.bytes}
 }
 
-func (e *Engine) addCompute(n *Node, ops, maxOps int64) {
+func (e *Engine) addCompute(n *Node, out *interim, ops, maxOps int64) {
 	e.Profile.AddPhase(cluster.Phase{
 		Name: n.name + ":" + opNames[n.kind], Kind: cluster.PhaseCompute,
 		Ops: ops, MaxPartOps: maxOps,
 	})
+	reg := e.Profile.Session().R()
+	reg.Counter("dataflow.operators").Add(1)
+	reg.Counter("dataflow.records").Add(out.records)
+	reg.Counter("dataflow.bytes").Add(out.bytes)
 }
 
 // joinParts hash-joins two key-partitioned datasets within a

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Value is a vertex state value.
@@ -119,10 +120,25 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		}
 	}
 
+	// Observability handles (nil single-branch no-ops without a
+	// session); counters advance once per iteration barrier.
+	sess := profile.Session()
+	tr := sess.T()
+	reg := sess.R()
+	cIters := reg.Counter("gas.iterations")
+	cGather := reg.Counter("gas.gather_edges")
+	cApply := reg.Counter("gas.apply_calls")
+	cScatter := reg.Counter("gas.scatter_edges")
+	cNet := reg.Counter("gas.net_bytes")
+	gPeakMem := reg.Gauge("gas.peak_mem_per_node")
+	runSpan := tr.Begin("gas:run", obs.KindRun, -1, obs.SpanRef{})
+	defer tr.End(runSpan)
+
 	// ---- Vertex-cut partitioning (for replication accounting) ------
 	// Edges are hashed to machines; a vertex is replicated on every
 	// machine that holds one of its edges. GraphLab synchronises each
 	// mirror with its master every iteration the vertex participates.
+	partSpan := tr.Begin("gas:partition", obs.KindPhase, -1, runSpan)
 	replicas := measureReplication(g, hw.Nodes)
 	var replicaSum int64
 	for _, r := range replicas {
@@ -132,6 +148,8 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 	if n > 0 {
 		replFactor = float64(replicaSum) / float64(n)
 	}
+	tr.End(partSpan)
+	reg.Gauge("gas.vertex_replicas").SetMax(replicaSum)
 
 	// ---- Loading phase ----------------------------------------------
 	if profile != nil {
@@ -181,6 +199,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		if activeCount == 0 {
 			break
 		}
+		iterSpan := tr.Begin("iteration", obs.KindSuperstep, int64(iter), runSpan)
 
 		copy(newValues, values)
 		clear(partOps)
@@ -285,6 +304,14 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		st.ApplyCalls += applyCalls
 		st.NetBytes += netBytes
 
+		// Registry counters mirror Stats (gas.* names), once per
+		// iteration barrier.
+		cGather.Add(gatherEdges)
+		cScatter.Add(scatterEdges)
+		cApply.Add(applyCalls)
+		cNet.Add(netBytes)
+		cIters.Add(1)
+
 		if profile != nil {
 			profile.AddPhase(cluster.Phase{
 				Name: fmt.Sprintf("gas:iter-%d", iter), Kind: cluster.PhaseCompute,
@@ -297,6 +324,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		active, nextActive = nextActive, active
 		clear(nextActive)
 		iter++
+		tr.End(iterSpan)
 		if cfg.AfterIteration != nil && cfg.AfterIteration(iter-1, values) {
 			break
 		}
@@ -314,6 +342,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 	replicaBytes := int64(float64(valBytes+int64(n)*perReplicaOverhead) * replFactor)
 	st.PeakMemPerNode = (g.MemoryFootprint() + replicaBytes) / int64(hw.Nodes)
 	st.Iterations = iter
+	gPeakMem.SetMax(st.PeakMemPerNode)
 
 	if profile != nil {
 		profile.AddPhase(cluster.Phase{

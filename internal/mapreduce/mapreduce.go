@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/hdfs"
+	"repro/internal/obs"
 )
 
 // Value is a record payload. Size reports its serialised byte
@@ -70,28 +71,22 @@ type ReducerFunc func(key int64, values []Value, out *Emitter)
 func (f ReducerFunc) Reduce(key int64, values []Value, out *Emitter) { f(key, values, out) }
 
 // Counters are Hadoop-style job counters, used by drivers for
-// convergence checks.
+// convergence checks. They are backed by an obs.Registry — the same
+// typed counters the engines report through — but each job keeps its
+// own registry so per-job semantics (a driver checking "updated" == 0
+// after one job) are unchanged. The zero Counters value is inert.
 type Counters struct {
-	mu sync.Mutex
-	m  map[string]int64
+	reg *obs.Registry
 }
 
 // NewCounters returns an empty counter set.
-func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+func NewCounters() *Counters { return &Counters{reg: obs.NewRegistry()} }
 
 // Add increments a counter.
-func (c *Counters) Add(name string, n int64) {
-	c.mu.Lock()
-	c.m[name] += n
-	c.mu.Unlock()
-}
+func (c *Counters) Add(name string, n int64) { c.reg.Counter(name).Add(n) }
 
 // Get reads a counter.
-func (c *Counters) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.m[name]
-}
+func (c *Counters) Get(name string) int64 { return c.reg.Counter(name).Get() }
 
 // Emitter collects records emitted by a map or reduce function and
 // accounts their sizes.
@@ -200,6 +195,16 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 
 	stats := &JobStats{Name: cfg.Name, Counters: NewCounters()}
 
+	// Observability: one job span with map / sort-shuffle / reduce /
+	// materialise phase spans; engine counters (mapreduce.* names
+	// mirroring JobStats fields) advance at each phase boundary. All
+	// handles are nil single-branch no-ops without a session.
+	sess := e.Profile.Session()
+	tr := sess.T()
+	reg := sess.R()
+	jobSpan := tr.Begin(cfg.Name, obs.KindJob, reg.Counter("mapreduce.jobs").Get(), obs.SpanRef{})
+	defer tr.End(jobSpan)
+
 	// ---- Map phase -------------------------------------------------
 	// splitDataset returns only non-empty splits, so small inputs spawn
 	// fewer map tasks rather than phantom empty ones.
@@ -209,6 +214,7 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	var mapOps, maxMapOps int64
 	var mu sync.Mutex
 
+	mapSpan := tr.Begin("map", obs.KindPhase, -1, jobSpan)
 	parallelFor(nMapTasks, func(m int) {
 		em := &Emitter{counters: stats.Counters}
 		var ops int64
@@ -263,9 +269,17 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 		mu.Unlock()
 	})
 
+	tr.End(mapSpan)
+	reg.Counter("mapreduce.map_input_records").Add(stats.MapInputRecords)
+	reg.Counter("mapreduce.map_output_records").Add(stats.MapOutputRecs)
+	reg.Counter("mapreduce.map_output_bytes").Add(stats.MapOutputBytes)
+	reg.Counter("mapreduce.combine_output_records").Add(stats.CombineOutputRecs)
+	reg.Counter("mapreduce.spill_bytes").Add(stats.SpillBytes)
+
 	// ---- Shuffle ---------------------------------------------------
 	// Each reducer pulls its partition from every map task; on average
 	// (n-1)/n of the bytes cross the network.
+	shuffleSpan := tr.Begin("sort-shuffle", obs.KindPhase, -1, jobSpan)
 	var shuffleBytes int64
 	reduceInput := make([][]KV, nReds)
 	for r := 0; r < nReds; r++ {
@@ -295,8 +309,11 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	if perNodeJob > e.PeakJobBytesPerNode {
 		e.PeakJobBytesPerNode = perNodeJob
 	}
+	tr.End(shuffleSpan)
+	reg.Counter("mapreduce.shuffle_bytes").Add(stats.ShuffleBytes)
 
 	// ---- Reduce phase ----------------------------------------------
+	reduceSpan := tr.Begin("reduce", obs.KindPhase, -1, jobSpan)
 	outputs := make([]Dataset, nReds)
 	var redOps, maxRedOps int64
 	parallelFor(nReds, func(r int) {
@@ -333,11 +350,19 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 		mu.Unlock()
 	})
 
+	tr.End(reduceSpan)
+	reg.Counter("mapreduce.reduce_input_groups").Add(stats.ReduceInputGroups)
+	reg.Counter("mapreduce.reduce_output_records").Add(stats.ReduceOutput)
+
+	matSpan := tr.Begin("materialise", obs.KindPhase, -1, jobSpan)
 	var out Dataset
 	for _, o := range outputs {
 		out = append(out, o...)
 	}
 	stats.OutputBytes = out.Bytes()
+	tr.End(matSpan)
+	reg.Counter("mapreduce.output_bytes").Add(stats.OutputBytes)
+	reg.Counter("mapreduce.jobs").Add(1)
 
 	// ---- Profile ---------------------------------------------------
 	e.Profile.AddPhase(cluster.Phase{

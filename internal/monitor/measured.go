@@ -1,0 +1,71 @@
+// Measured curves: instead of synthesising resource usage from the
+// simulated phase timeline, interpolate the real process samples the
+// internal/obs sampler recorded while the engines ran. The result uses
+// the same Trace/Usage types and the same 100-point normalisation as
+// the modelled curves, so figures can show both side by side.
+package monitor
+
+import (
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Measured builds a Trace from real obs samples. The mapping onto the
+// paper's three resources is necessarily a single-process proxy:
+//
+//   - CPU: live goroutine count, a utilisation proxy for the worker
+//     pool (the paper reports whole-machine CPU%).
+//   - MemGB: heap in use (runtime.MemStats.HeapAlloc), in GB.
+//   - NetMbps: the rate of change of the engines' network byte
+//     counters (any "*.net_bytes" or "*.shuffle_bytes" counter),
+//     converted to Mbit/s over each sampling interval.
+//
+// The whole simulation runs in one process, which plays the role of
+// the paper's representative computing node; the master curves are
+// therefore zero (the paper's own key observation is that the master
+// is nearly idle).
+func Measured(platform string, samples []obs.Sample) Trace {
+	tr := Trace{Platform: platform, Source: SourceMeasured}
+	if len(samples) == 0 {
+		return tr
+	}
+
+	cpu := make([]float64, len(samples))
+	mem := make([]float64, len(samples))
+	net := make([]float64, len(samples))
+
+	prevBytes := netBytes(samples[0])
+	prevNs := samples[0].ElapsedNs
+	for i, s := range samples {
+		cpu[i] = float64(s.Goroutines)
+		mem[i] = float64(s.HeapBytes) / (1 << 30)
+		if i == 0 {
+			continue
+		}
+		bytes := netBytes(s)
+		dt := s.ElapsedNs - prevNs
+		if dt > 0 && bytes > prevBytes {
+			// bytes/ns * 8 bits * 1e9 ns/s / 1e6 = Mbit/s.
+			net[i] = float64(bytes-prevBytes) * 8 * 1e3 / float64(dt)
+		}
+		prevBytes, prevNs = bytes, s.ElapsedNs
+	}
+
+	tr.Compute.CPU = normalize(cpu)
+	tr.Compute.MemGB = normalize(mem)
+	tr.Compute.NetMbps = normalize(net)
+	return tr
+}
+
+// netBytes sums every counter that tracks bytes crossing the simulated
+// network, across all engines.
+func netBytes(s obs.Sample) int64 {
+	var total int64
+	for name, v := range s.Counters {
+		if strings.HasSuffix(name, ".net_bytes") || strings.HasSuffix(name, ".shuffle_bytes") {
+			total += v
+		}
+	}
+	return total
+}

@@ -35,11 +35,22 @@ type Usage struct {
 	NetMbps [Points]float64
 }
 
+// Curve provenance: the paper's figures come from real Ganglia
+// samples; this reproduction can synthesise curves from the simulated
+// phase timeline (modelled) or interpolate real process samples
+// captured by internal/obs (measured).
+const (
+	SourceModelled = "modelled"
+	SourceMeasured = "measured"
+)
+
 // Trace is the full monitoring result for a run.
 type Trace struct {
 	Platform string
-	Master   Usage
-	Compute  Usage
+	// Source is SourceModelled or SourceMeasured.
+	Source  string
+	Master  Usage
+	Compute Usage
 }
 
 // Signature is a platform's resource behaviour profile.
@@ -187,6 +198,7 @@ func Record(platform string, b cluster.Breakdown, iterations int) Trace {
 
 	var tr Trace
 	tr.Platform = platform
+	tr.Source = SourceModelled
 	tr.Compute.CPU = normalize(cpu)
 	tr.Compute.MemGB = normalize(mem)
 	tr.Compute.NetMbps = normalize(net)

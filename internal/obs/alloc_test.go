@@ -1,0 +1,59 @@
+package obs
+
+import "testing"
+
+// The tracer's own hot path must not allocate: spans in steady state
+// (including after ring wrap) and counter updates are what the engine
+// inner loops pay when tracing is enabled.
+
+func TestSpanHotPathDoesNotAllocate(t *testing.T) {
+	tr := NewTracer(64)
+	run := tr.Begin("run", KindRun, -1, SpanRef{})
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.Begin("superstep", KindSuperstep, 1, run)
+		tr.End(s)
+	})
+	tr.End(run)
+	if allocs != 0 {
+		t.Fatalf("steady-state span emission allocates %.1f times/op, want 0", allocs)
+	}
+}
+
+func TestSpanHotPathAfterWrapDoesNotAllocate(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 100; i++ { // force several wraps first
+		tr.End(tr.Begin("s", KindPhase, int64(i), SpanRef{}))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.End(tr.Begin("s", KindPhase, 0, SpanRef{}))
+	})
+	if allocs != 0 {
+		t.Fatalf("post-wrap span emission allocates %.1f times/op, want 0", allocs)
+	}
+}
+
+func TestCounterAddDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bytes")
+	g := r.Gauge("peak")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(64)
+		g.SetMax(128)
+	})
+	if allocs != 0 {
+		t.Fatalf("counter/gauge update allocates %.1f times/op, want 0", allocs)
+	}
+}
+
+func TestDisabledPathDoesNotAllocate(t *testing.T) {
+	var tr *Tracer
+	var c *Counter
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.Begin("superstep", KindSuperstep, 1, SpanRef{})
+		c.Add(1)
+		tr.End(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f times/op, want 0", allocs)
+	}
+}

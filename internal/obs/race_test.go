@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentEngineWorkers hammers the registry, tracer, and
+// sampler from many goroutines at once — the shape of five engines'
+// worker pools reporting into one session. Run under -race (the
+// scripts/check.sh and CI race jobs include this package).
+func TestConcurrentEngineWorkers(t *testing.T) {
+	s := NewSession(Options{SpanCapacity: 1 << 12, SampleInterval: 200 * time.Microsecond})
+	defer s.Close()
+
+	const workers = 16
+	const iters = 2000
+
+	run := s.T().Begin("run", KindRun, -1, SpanRef{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker resolves its handles once, as engines do.
+			bytes := s.R().Counter("engine.bytes")
+			records := s.R().Counter("engine.records")
+			peak := s.R().Gauge("engine.peak")
+			for i := 0; i < iters; i++ {
+				sp := s.T().Begin("superstep", KindSuperstep, int64(i), run)
+				bytes.Add(64)
+				records.Add(1)
+				peak.SetMax(int64(w*iters + i))
+				// Late registration races against the sampler snapshot.
+				s.R().Counter("engine.dynamic").Add(1)
+				s.T().End(sp)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.T().End(run)
+	s.Close()
+
+	snap := s.R().Snapshot()
+	if got := snap.Counters["engine.bytes"]; got != workers*iters*64 {
+		t.Fatalf("engine.bytes = %d, want %d", got, workers*iters*64)
+	}
+	if got := snap.Counters["engine.records"]; got != workers*iters {
+		t.Fatalf("engine.records = %d, want %d", got, workers*iters)
+	}
+	if got := snap.Gauges["engine.peak"]; got != workers*iters-1 {
+		t.Fatalf("engine.peak = %d, want %d", got, workers*iters-1)
+	}
+	if len(s.Sampler.Samples()) < 1 {
+		t.Fatal("sampler recorded nothing")
+	}
+}

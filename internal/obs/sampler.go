@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Sample is one point of real process telemetry: Go runtime state plus
+// a snapshot of the engine counters at that instant. It is what
+// monitor.Measured interpolates onto the paper's 100 normalised
+// points.
+type Sample struct {
+	// ElapsedNs is nanoseconds since the sampler started.
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// HeapBytes is runtime.MemStats.HeapAlloc: live heap.
+	HeapBytes uint64 `json:"heap_bytes"`
+	// SysBytes is runtime.MemStats.Sys: memory obtained from the OS,
+	// the closest in-process proxy for resident set size.
+	SysBytes uint64 `json:"sys_bytes"`
+	// Goroutines is the live goroutine count — the engines' measure of
+	// compute parallelism in flight.
+	Goroutines int `json:"goroutines"`
+	// GCPauseTotalNs is the cumulative runtime.MemStats.PauseTotalNs.
+	GCPauseTotalNs uint64 `json:"gc_pause_total_ns"`
+	// NumGC is the cumulative collection count.
+	NumGC uint32 `json:"num_gc"`
+	// Counters snapshots the registry's counters (engine byte/record
+	// counts) at sample time.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// Sampler periodically records Samples on its own goroutine. It is
+// deliberately off the hot path: sampling allocates (MemStats read,
+// counter snapshot) but happens at interval granularity, like the
+// paper's 1-second Ganglia sampling.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu      sync.Mutex
+	samples []Sample
+	epoch   time.Time
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+	stopped bool
+}
+
+// DefaultSampleInterval matches the spirit of the paper's 1 s Ganglia
+// interval scaled to in-process run lengths.
+const DefaultSampleInterval = 5 * time.Millisecond
+
+// NewSampler returns a stopped sampler over reg (which may be nil;
+// samples then carry only runtime stats).
+func NewSampler(reg *Registry, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the sampling goroutine and records an immediate
+// first sample. Starting a nil or already-started sampler is a no-op.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.started || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.epoch = time.Now()
+	s.mu.Unlock()
+
+	s.SampleNow()
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(s.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.SampleNow()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// SampleNow records one sample immediately (also safe from tests and
+// from Stop, to guarantee a final point).
+func (s *Sampler) SampleNow() {
+	if s == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	var counters map[string]int64
+	if s.reg != nil {
+		counters = s.reg.Snapshot().Counters
+	}
+	s.mu.Lock()
+	epoch := s.epoch
+	if epoch.IsZero() {
+		epoch = time.Now()
+		s.epoch = epoch
+	}
+	s.samples = append(s.samples, Sample{
+		ElapsedNs:      int64(time.Since(epoch)),
+		HeapBytes:      ms.HeapAlloc,
+		SysBytes:       ms.Sys,
+		Goroutines:     runtime.NumGoroutine(),
+		GCPauseTotalNs: ms.PauseTotalNs,
+		NumGC:          ms.NumGC,
+		Counters:       counters,
+	})
+	s.mu.Unlock()
+}
+
+// Stop halts the goroutine (if running), records a final sample, and
+// is idempotent.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		close(s.stop)
+		<-s.done
+	}
+	s.SampleNow()
+}
+
+// Samples returns a copy of everything recorded so far.
+func (s *Sampler) Samples() []Sample {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Session bundles one run's tracer, metric registry, and sampler —
+// what cmd/graphbench creates for -trace/-metrics and what the
+// engines receive via cluster.ExecutionProfile. A nil *Session is the
+// disabled state: every accessor returns nil, and every nil tracer /
+// counter call is a single branch.
+type Session struct {
+	Tracer  *Tracer
+	Metrics *Registry
+	Sampler *Sampler
+}
+
+// Options configures NewSession.
+type Options struct {
+	// SpanCapacity sizes the span ring (default DefaultSpanCapacity).
+	SpanCapacity int
+	// SampleInterval is the sampler period (default
+	// DefaultSampleInterval).
+	SampleInterval time.Duration
+	// NoSampler skips starting the background sampler (tests, and
+	// runs that only want spans/counters).
+	NoSampler bool
+}
+
+// NewSession creates and starts a session.
+func NewSession(opt Options) *Session {
+	cap := opt.SpanCapacity
+	if cap <= 0 {
+		cap = DefaultSpanCapacity
+	}
+	s := &Session{
+		Tracer:  NewTracer(cap),
+		Metrics: NewRegistry(),
+	}
+	if !opt.NoSampler {
+		s.Sampler = NewSampler(s.Metrics, opt.SampleInterval)
+		s.Sampler.Start()
+	}
+	return s
+}
+
+// T returns the tracer (nil when the session is nil).
+func (s *Session) T() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Tracer
+}
+
+// R returns the metric registry (nil when the session is nil).
+func (s *Session) R() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics
+}
+
+// Close stops the sampler (taking a final sample). Closing a nil
+// session is a no-op.
+func (s *Session) Close() {
+	if s == nil {
+		return
+	}
+	s.Sampler.Stop()
+}
+
+// metricsDoc is the -metrics export layout: the final counter/gauge
+// values plus the raw sample series.
+type metricsDoc struct {
+	Metrics Snapshot `json:"metrics"`
+	Samples []Sample `json:"samples,omitempty"`
+}
+
+// WriteMetricsJSON writes the registry snapshot and sample series as
+// one indented JSON document.
+func (s *Session) WriteMetricsJSON(w io.Writer) error {
+	var doc metricsDoc
+	if s != nil {
+		doc.Metrics = s.Metrics.Snapshot()
+		doc.Samples = s.Sampler.Samples()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

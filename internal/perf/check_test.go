@@ -1,0 +1,69 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareWithinTolerance(t *testing.T) {
+	c := CheckResult{RefNs: 1000, RefAllocs: 100, GotNs: 1200, GotAllocs: 120}
+	c.compare()
+	if c.Regressed {
+		t.Fatalf("+20%% flagged as regression: %q", c.Reason)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	c := CheckResult{RefNs: 1000, RefAllocs: 100, GotNs: 1300, GotAllocs: 100}
+	c.compare()
+	if !c.Regressed || !strings.Contains(c.Reason, "ns/op") {
+		t.Fatalf("+30%% ns/op not flagged: regressed=%v reason=%q", c.Regressed, c.Reason)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	c := CheckResult{RefNs: 1000, RefAllocs: 100, GotNs: 900, GotAllocs: 200}
+	c.compare()
+	if !c.Regressed || !strings.Contains(c.Reason, "allocs/op") {
+		t.Fatalf("2x allocs not flagged: regressed=%v reason=%q", c.Regressed, c.Reason)
+	}
+}
+
+func TestCompareZeroReference(t *testing.T) {
+	// A zero reference (e.g. an alloc-free benchmark) must not divide
+	// by zero or flag spuriously.
+	c := CheckResult{RefNs: 0, RefAllocs: 0, GotNs: 500, GotAllocs: 3}
+	c.compare()
+	if c.Regressed {
+		t.Fatalf("zero reference flagged: %q", c.Reason)
+	}
+}
+
+func TestReferencePrefersAfter(t *testing.T) {
+	before := &Metrics{NsPerOp: 2000}
+	after := &Metrics{NsPerOp: 1000}
+	if got := reference(&Record{Before: before, After: after}); got != after {
+		t.Fatal("reference must prefer the post-PR measurement")
+	}
+	if got := reference(&Record{Before: before}); got != before {
+		t.Fatal("reference must fall back to the pre-PR measurement")
+	}
+}
+
+func TestRenderCheck(t *testing.T) {
+	results := []CheckResult{
+		{Name: "fast-enough", RefNs: 100, GotNs: 110},
+		{Name: "too-slow", RefNs: 100, GotNs: 200, Regressed: true, Reason: "ns/op +100%"},
+	}
+	table, failed := RenderCheck(results)
+	if !failed {
+		t.Fatal("RenderCheck must report failure when any entry regressed")
+	}
+	if !strings.Contains(table, "REGRESSED") || !strings.Contains(table, "too-slow") {
+		t.Fatalf("table missing regression row:\n%s", table)
+	}
+	table, failed = RenderCheck(results[:1])
+	if failed || strings.Contains(table, "REGRESSED") {
+		t.Fatalf("clean results reported as failed:\n%s", table)
+	}
+}

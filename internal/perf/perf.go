@@ -52,6 +52,12 @@ type Metrics struct {
 	SimSeconds float64 `json:"sim_seconds,omitempty"`
 	// BenchN is the b.N the figures were averaged over.
 	BenchN int `json:"bench_n,omitempty"`
+	// GCPauseNs is the total stop-the-world pause accumulated while the
+	// benchmark ran (runtime.MemStats.PauseTotalNs delta).
+	GCPauseNs uint64 `json:"gc_pause_ns,omitempty"`
+	// PeakSysBytes is runtime.MemStats.Sys after the benchmark — the
+	// process's high-water OS memory, the closest in-process RSS proxy.
+	PeakSysBytes uint64 `json:"peak_sys_bytes,omitempty"`
 }
 
 // Record pairs the pre-PR and post-PR measurements of one benchmark.
@@ -320,12 +326,17 @@ func Measure(scale int, seed int64) map[string]*Metrics {
 func MeasureSuite(suite []Bench) map[string]*Metrics {
 	out := make(map[string]*Metrics)
 	for _, bm := range suite {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		r := testing.Benchmark(bm.Run)
+		runtime.ReadMemStats(&after)
 		m := &Metrics{
-			NsPerOp:     float64(r.NsPerOp()),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			BenchN:      r.N,
+			NsPerOp:      float64(r.NsPerOp()),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			BenchN:       r.N,
+			GCPauseNs:    after.PauseTotalNs - before.PauseTotalNs,
+			PeakSysBytes: after.Sys,
 		}
 		if bm.Bytes > 0 && m.NsPerOp > 0 {
 			m.MBPerSec = float64(bm.Bytes) / m.NsPerOp * 1e3

@@ -22,6 +22,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/mapreduce"
 	"repro/internal/mralgo"
+	"repro/internal/obs"
 	"repro/internal/pactalgo"
 	"repro/internal/pregelalgo"
 	"repro/internal/yarn"
@@ -69,6 +70,9 @@ type Spec struct {
 	// WarmCache requests a hot-cache run (Neo4j only): the cold pass
 	// is executed first and discarded, as the paper does.
 	WarmCache bool
+	// Obs, when non-nil, is the observability session the run's engine
+	// reports real spans and counters into (see internal/obs).
+	Obs *obs.Session
 }
 
 // Status is the outcome class of a run.
@@ -256,7 +260,7 @@ func max64(a, b int64) int64 {
 type mrPlatform struct {
 	name, version string
 	costs         cluster.CostModel
-	newEngine     func(hw cluster.Hardware) (*mapreduce.Engine, func(), error)
+	newEngine     func(hw cluster.Hardware, sess *obs.Session) (*mapreduce.Engine, func(), error)
 }
 
 // NewHadoop returns the Hadoop platform (hadoop-0.20.203.0 in the
@@ -264,8 +268,10 @@ type mrPlatform struct {
 func NewHadoop() Platform {
 	return &mrPlatform{
 		name: "Hadoop", version: "hadoop-0.20.203.0", costs: cluster.HadoopCosts(),
-		newEngine: func(hw cluster.Hardware) (*mapreduce.Engine, func(), error) {
-			return mapreduce.New(hw, hdfs.New()), func() {}, nil
+		newEngine: func(hw cluster.Hardware, sess *obs.Session) (*mapreduce.Engine, func(), error) {
+			e := mapreduce.New(hw, hdfs.New())
+			e.Profile.Obs = sess
+			return e, func() {}, nil
 		},
 	}
 }
@@ -275,8 +281,9 @@ func NewHadoop() Platform {
 func NewYARN() Platform {
 	return &mrPlatform{
 		name: "YARN", version: "hadoop-2.0.3-alpha", costs: cluster.YARNCosts(),
-		newEngine: func(hw cluster.Hardware) (*mapreduce.Engine, func(), error) {
+		newEngine: func(hw cluster.Hardware, sess *obs.Session) (*mapreduce.Engine, func(), error) {
 			rm := yarn.NewResourceManager(hw, hdfs.New())
+			rm.Obs = sess
 			am, err := rm.Submit("graphbench", 1<<30)
 			if err != nil {
 				return nil, nil, err
@@ -294,7 +301,7 @@ func (p *mrPlatform) Costs() cluster.CostModel { return p.costs }
 func (p *mrPlatform) Run(spec Spec) *Result {
 	r := &Result{Profile: &cluster.ExecutionProfile{}}
 	fillIDs(r, spec, p.name)
-	eng, release, err := p.newEngine(spec.HW)
+	eng, release, err := p.newEngine(spec.HW, spec.Obs)
 	if err != nil {
 		r.Status = Crashed
 		r.Err = err
@@ -358,6 +365,7 @@ func (p stratoPlatform) Run(spec Spec) *Result {
 	r := &Result{Profile: &cluster.ExecutionProfile{}}
 	fillIDs(r, spec, p.Name())
 	eng := dataflow.New(spec.HW)
+	eng.Profile.Obs = spec.Obs
 
 	var out any
 	var err error
@@ -403,7 +411,7 @@ func (giraphPlatform) Kind() string             { return "Graph, Distributed" }
 func (giraphPlatform) Costs() cluster.CostModel { return cluster.GiraphCosts() }
 
 func (p giraphPlatform) Run(spec Spec) *Result {
-	r := &Result{Profile: &cluster.ExecutionProfile{}}
+	r := &Result{Profile: &cluster.ExecutionProfile{Obs: spec.Obs}}
 	fillIDs(r, spec, p.Name())
 	cm := p.Costs()
 	proj := projection(spec)
@@ -493,7 +501,7 @@ func (graphlabPlatform) Kind() string             { return "Graph, Distributed" 
 func (graphlabPlatform) Costs() cluster.CostModel { return cluster.GraphLabCosts() }
 
 func (p graphlabPlatform) Run(spec Spec) *Result {
-	r := &Result{Profile: &cluster.ExecutionProfile{}}
+	r := &Result{Profile: &cluster.ExecutionProfile{Obs: spec.Obs}}
 	fillIDs(r, spec, p.Name())
 	inputBytes := graph.TextSize(spec.G)
 
@@ -552,7 +560,7 @@ func (neo4jPlatform) Kind() string             { return "Graph, Non-distributed"
 func (neo4jPlatform) Costs() cluster.CostModel { return cluster.Neo4jCosts() }
 
 func (p neo4jPlatform) Run(spec Spec) *Result {
-	r := &Result{Profile: &cluster.ExecutionProfile{}}
+	r := &Result{Profile: &cluster.ExecutionProfile{Obs: spec.Obs}}
 	fillIDs(r, spec, p.Name())
 	proj := projection(spec)
 

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Message is a value sent between vertices. Size reports serialised
@@ -332,6 +333,24 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 	var pendingMsgs int64
 	var st Stats
 
+	// Observability: span + counter handles resolved once per run; all
+	// nil (single-branch no-ops) when no session is attached. Counters
+	// advance at each barrier, never inside the vertex loop, so the
+	// sampler sees message/byte volume grow per superstep while the
+	// hot path stays allocation-free.
+	sess := profile.Session()
+	tr := sess.T()
+	reg := sess.R()
+	cMsgs := reg.Counter("pregel.messages")
+	cMsgBytes := reg.Counter("pregel.msg_bytes")
+	cNet := reg.Counter("pregel.net_bytes")
+	cCalls := reg.Counter("pregel.compute_calls")
+	cSupersteps := reg.Counter("pregel.supersteps")
+	gInbox := reg.Gauge("pregel.peak_inbox_bytes")
+	gSend := reg.Gauge("pregel.peak_send_bytes")
+	runSpan := tr.Begin("pregel:run", obs.KindRun, -1, obs.SpanRef{})
+	defer tr.End(runSpan)
+
 	if profile != nil && !cfg.SkipSetup {
 		profile.AddPhase(cluster.Phase{
 			Name: "pregel:setup", Kind: cluster.PhaseSetup,
@@ -346,6 +365,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		if activeCount == 0 && pendingMsgs == 0 {
 			break
 		}
+		ssSpan := tr.Begin("superstep", obs.KindSuperstep, int64(e.superstep), runSpan)
 
 		var wg sync.WaitGroup
 		for p := 0; p < parts; p++ {
@@ -403,6 +423,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 			st.PeakSendBytes = maxSend
 		}
 		if cfg.SendLimitPerNode > 0 && maxSend > cfg.SendLimitPerNode {
+			tr.End(ssSpan)
 			return nil, fmt.Errorf("pregel: superstep %d send buffer %d MB exceeds per-node budget %d MB: %w",
 				e.superstep, maxSend>>20, cfg.SendLimitPerNode>>20, cluster.ErrOutOfMemory)
 		}
@@ -449,9 +470,21 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		st.TotalMessages += superMsgs
 		st.TotalMsgBytes += superBytes
 		st.NetBytes += superNet
+		var superCalls int64
 		for p := 0; p < parts; p++ {
-			st.ComputeCalls += int64(len(members[p]))
+			superCalls += int64(len(members[p]))
 		}
+		st.ComputeCalls += superCalls
+
+		// Registry counters mirror Stats exactly (same names as the
+		// struct fields, pregel.* prefixed), advanced once per barrier.
+		cMsgs.Add(superMsgs)
+		cMsgBytes.Add(superBytes)
+		cNet.Add(superNet)
+		cCalls.Add(superCalls)
+		cSupersteps.Add(1)
+		gInbox.SetMax(maxInbox)
+		gSend.SetMax(maxSend)
 
 		if profile != nil {
 			profile.AddPhase(cluster.Phase{
@@ -477,6 +510,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 			}
 		}
 
+		tr.End(ssSpan)
 		e.aggPrev = agg
 		e.superstep++
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/hdfs"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 )
 
 // DefaultMaxAllocation is the paper's maximum container request at the
@@ -29,6 +30,11 @@ type ResourceManager struct {
 
 	// MaxAllocation caps a single container request.
 	MaxAllocation int64
+
+	// Obs, when non-nil, receives an app-lifetime span per submitted
+	// application plus container-allocation counters, and is handed to
+	// each application's MapReduce engine.
+	Obs *obs.Session
 
 	mu        sync.Mutex
 	nextAppID int
@@ -71,6 +77,12 @@ func (rm *ResourceManager) Submit(name string, amMemory int64) (*ApplicationMast
 		ID: id, Name: name, rm: rm, memory: amMemory,
 		engine: mapreduce.New(rm.hw, rm.fs),
 	}
+	am.engine.Profile.Obs = rm.Obs
+	am.span = rm.Obs.T().Begin("yarn:app", obs.KindJob, int64(rm.nextAppID), obs.SpanRef{})
+	reg := rm.Obs.R()
+	reg.Counter("yarn.apps_submitted").Add(1)
+	reg.Counter("yarn.containers_requested").Add(1)
+	reg.Gauge("yarn.allocated_bytes").Set(rm.allocated)
 	rm.apps[id] = am
 	return am, nil
 }
@@ -98,6 +110,7 @@ type ApplicationMaster struct {
 	rm     *ResourceManager
 	engine *mapreduce.Engine
 	memory int64 // AM + task containers
+	span   obs.SpanRef
 
 	mu       sync.Mutex
 	finished bool
@@ -125,6 +138,9 @@ func (am *ApplicationMaster) RequestContainers(n int, bytes int64) error {
 	am.mu.Lock()
 	am.memory += total
 	am.mu.Unlock()
+	reg := am.rm.Obs.R()
+	reg.Counter("yarn.containers_requested").Add(int64(n))
+	reg.Gauge("yarn.allocated_bytes").Set(am.rm.allocated)
 	return nil
 }
 
@@ -142,5 +158,8 @@ func (am *ApplicationMaster) Finish() {
 	am.rm.mu.Lock()
 	am.rm.allocated -= mem
 	delete(am.rm.apps, am.ID)
+	allocated := am.rm.allocated
 	am.rm.mu.Unlock()
+	am.rm.Obs.R().Gauge("yarn.allocated_bytes").Set(allocated)
+	am.rm.Obs.T().End(am.span)
 }

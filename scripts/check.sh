@@ -8,19 +8,36 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
+# Optional linters: used when installed, skipped with a warning when
+# not — CI installs them, local checkouts need not.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ./..."
+    staticcheck ./...
+else
+    echo "== staticcheck not installed, skipping" >&2
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck ./..."
+    govulncheck ./...
+else
+    echo "== govulncheck not installed, skipping" >&2
+fi
+
 echo "== go build ./..."
 go build ./...
 
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race -short (engines + ingest)"
+echo "== go test -race -short (engines + ingest + obs)"
 go test -race -short \
     ./internal/pregel/... \
     ./internal/gas/... \
     ./internal/mapreduce/... \
     ./internal/dataflow/... \
-    ./internal/graph/...
+    ./internal/graph/... \
+    ./internal/obs/...
 
 echo "== fuzz seed smoke (graph text reader)"
 # Run every checked-in fuzz seed (plus any locally grown corpus)
