@@ -6,6 +6,7 @@
 //	graphbench [flags] table <2|3|4|5|6|7|8>
 //	graphbench [flags] figure <1|2|3|4|5-7|8-10|11|12|13|14|15|16> [dataset]
 //	graphbench [flags] run <platform> <algorithm> <dataset>
+//	graphbench [flags] chaos <engine> [algorithm] [dataset]
 //	graphbench [flags] curves <platform> [measured]
 //	graphbench bench-check [baseline.json ...]
 //	graphbench [flags] all
@@ -31,6 +32,7 @@ import (
 	"repro/internal/boundary"
 	"repro/internal/cluster"
 	"repro/internal/datagen"
+	"repro/internal/fault"
 	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/perf"
@@ -48,6 +50,7 @@ func main() {
 		"dataset snapshot cache directory (empty disables; default $GRAPHBENCH_CACHE)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run's spans (open in chrome://tracing or Perfetto)")
 	metricsOut := flag.String("metrics", "", "write the run's counters, gauges, and resource samples as JSON")
+	faultSeed := flag.Int64("fault-seed", 1, "seed of the fault plan for `chaos`")
 	flag.Parse()
 
 	perf.CacheDir = *cache
@@ -83,6 +86,30 @@ func main() {
 				r.Seconds, r.ComputeSeconds, r.OverheadSeconds, r.Iterations, r.EPS(), r.VPS())
 		} else if r.Err != nil {
 			fmt.Printf("reason: %v\n", r.Err)
+		}
+	case "chaos":
+		need(args, 2)
+		name, ok := chaosEngines[args[1]]
+		if !ok {
+			fatal("chaos: unknown engine %q (pregel mapreduce yarn dataflow gas)", args[1])
+		}
+		alg, ds := "BFS", "KGS"
+		if len(args) > 2 {
+			alg = args[2]
+		}
+		if len(args) > 3 {
+			ds = args[3]
+		}
+		rep := h.Chaos(name, alg, ds, cluster.DAS4(*nodes, *cores), fault.DefaultPlan(*faultSeed))
+		fmt.Print(rep)
+		if rep.Err != nil {
+			fatal("chaos: %v", rep.Err)
+		}
+		if !rep.Match {
+			fatal("chaos: fault-injected output diverged from the fault-free run")
+		}
+		if rep.Injected == 0 {
+			fatal("chaos: fault plan injected nothing (weak plan for this workload)")
 		}
 	case "curves":
 		need(args, 2)
@@ -318,6 +345,7 @@ func usage() {
   graphbench [flags] table <2-8>
   graphbench [flags] figure <1-16> [dataset]
   graphbench [flags] run <platform> <algorithm> <dataset>
+  graphbench [flags] chaos <engine> [algorithm] [dataset]
   graphbench [flags] curves <platform> [measured]
   graphbench [flags] findings
   graphbench [flags] explore <platform>
@@ -333,11 +361,23 @@ flags of note:
                (default $GRAPHBENCH_CACHE; empty disables)
   -trace F     write the run's spans as a Chrome trace_event file
   -metrics F   write the run's counters and resource samples as JSON
+  -fault-seed N  seed of the chaos fault plan (default 1)
 
 platforms:  Hadoop YARN Stratosphere Giraph GraphLab GraphLab(mp) Neo4j
+chaos engines: pregel mapreduce yarn dataflow gas
 algorithms: STATS BFS CONN CD EVO
 datasets:   Amazon WikiTalk KGS Citation DotaLeague Synth Friendster`)
 	os.Exit(2)
+}
+
+// chaosEngines maps the engine packages under chaos test to the
+// platform that exercises them.
+var chaosEngines = map[string]string{
+	"pregel":    "Giraph",
+	"mapreduce": "Hadoop",
+	"yarn":      "YARN",
+	"dataflow":  "Stratosphere",
+	"gas":       "GraphLab",
 }
 
 func fatal(format string, args ...any) {

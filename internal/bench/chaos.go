@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/algo"
+	"repro/internal/cluster"
+	"repro/internal/datagen"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/platform"
+)
+
+// ChaosReport is the outcome of one chaos experiment: a fault-free
+// baseline run followed by a run under a seeded fault plan, with the
+// recovery overhead expressed as the paper's T/EPS penalty.
+type ChaosReport struct {
+	Platform  string
+	Algorithm string
+	Dataset   string
+	Seed      int64
+
+	// Match is the determinism contract: the fault-injected run
+	// produced exactly the fault-free algorithm output.
+	Match bool
+	// BaselineSeconds / FaultSeconds are the projected execution times
+	// T of the two runs; PenaltyPct is the relative recovery overhead.
+	BaselineSeconds float64
+	FaultSeconds    float64
+	PenaltyPct      float64
+	// BaselineEPS / FaultEPS are the corresponding throughputs.
+	BaselineEPS float64
+	FaultEPS    float64
+
+	// Injected counts faults fired by the injector; Retries and
+	// Restores are the engine-side recovery counters
+	// (task.retries + yarn.am_restarts, checkpoint.restore).
+	Injected int64
+	Retries  int64
+	Restores int64
+
+	// Err is set when either run failed outright (e.g. the retry
+	// budget was exhausted and the engine degraded to a clean abort).
+	Err error
+}
+
+// String renders the report as a short human-readable block.
+func (c ChaosReport) String() string {
+	status := "MATCH"
+	if !c.Match {
+		status = "MISMATCH"
+	}
+	if c.Err != nil {
+		status = "ERROR: " + c.Err.Error()
+	}
+	return fmt.Sprintf(
+		"== chaos %s %s/%s seed=%d ==\n"+
+			"result:    %s\n"+
+			"faults:    injected=%d retries=%d restores=%d\n"+
+			"time:      baseline=%.1f s  chaos=%.1f s  penalty=%.1f%%\n"+
+			"eps:       baseline=%s  chaos=%s\n",
+		c.Platform, c.Algorithm, c.Dataset, c.Seed, status,
+		c.Injected, c.Retries, c.Restores,
+		c.BaselineSeconds, c.FaultSeconds, c.PenaltyPct,
+		fmtFloat(c.BaselineEPS), fmtFloat(c.FaultEPS))
+}
+
+// runSpec executes one experiment with an explicit observability
+// session and fault injector, bypassing the result cache (chaos runs
+// must never be served from, or leak into, the fault-free cache).
+func (h *Harness) runSpec(platformName, alg, dataset string, hw cluster.Hardware, sess *obs.Session, inj *fault.Injector) *platform.Result {
+	p, err := platform.ByName(platformName)
+	if err != nil {
+		panic(err)
+	}
+	prof, err := datagen.ByName(dataset)
+	if err != nil {
+		panic(err)
+	}
+	g := h.Graph(dataset)
+	params := algo.DefaultParams(h.cfg.Seed)
+	params.BFSSource = algo.PickSource(g, h.cfg.Seed)
+	return p.Run(platform.Spec{
+		Algorithm: alg, Dataset: prof, G: g, HW: hw,
+		Params: params, WarmCache: true, ScaleFactor: h.cfg.Scale,
+		Obs: sess, Fault: inj,
+	})
+}
+
+// Chaos runs the experiment twice — fault-free, then under plan — and
+// reports whether recovery preserved the algorithm output along with
+// the T/EPS penalty the recovery cost. The determinism contract is
+// that Match is true for every plan the engines can absorb within the
+// retry budget; an exhausted budget surfaces as Err.
+func (h *Harness) Chaos(platformName, alg, dataset string, hw cluster.Hardware, plan fault.Plan) ChaosReport {
+	rep := ChaosReport{
+		Platform: platformName, Algorithm: alg, Dataset: dataset,
+		Seed: plan.Seed,
+	}
+
+	base := h.runSpec(platformName, alg, dataset, hw, nil, nil)
+	if base.Status != platform.OK {
+		rep.Err = fmt.Errorf("baseline run failed (%v): %v", base.Status, base.Err)
+		return rep
+	}
+	rep.BaselineSeconds = base.Seconds
+	rep.BaselineEPS = base.EPS()
+
+	sess := obs.NewSession(obs.Options{NoSampler: true})
+	defer sess.Close()
+	inj := fault.New(plan, sess.R())
+	res := h.runSpec(platformName, alg, dataset, hw, sess, inj)
+
+	rep.Injected = inj.Injected()
+	snap := sess.R().Snapshot()
+	rep.Retries = snap.Counters["task.retries"] + snap.Counters["yarn.am_restarts"]
+	rep.Restores = snap.Counters["checkpoint.restore"]
+
+	if res.Status != platform.OK {
+		rep.Err = fmt.Errorf("chaos run failed (%v): %v", res.Status, res.Err)
+		return rep
+	}
+	rep.FaultSeconds = res.Seconds
+	rep.FaultEPS = res.EPS()
+	rep.PenaltyPct = 100 * fault.Overhead(base.Seconds, res.Seconds)
+	rep.Match = reflect.DeepEqual(res.Output, base.Output)
+	return rep
+}

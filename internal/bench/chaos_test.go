@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+)
+
+// TestChaosMatchAcrossEngines: one crash mid-run per engine, recovery
+// yields the fault-free output with nonzero recovery counters and a
+// visible T penalty.
+func TestChaosMatchAcrossEngines(t *testing.T) {
+	h := quick()
+	hw := cluster.DAS4(4, 1)
+	for _, name := range []string{"Giraph", "Hadoop", "YARN", "Stratosphere", "GraphLab"} {
+		rep := h.Chaos(name, "BFS", "KGS", hw, fault.DefaultPlan(1))
+		if rep.Err != nil {
+			t.Fatalf("%s: %v", name, rep.Err)
+		}
+		if !rep.Match {
+			t.Fatalf("%s: chaos output diverged from fault-free run", name)
+		}
+		if rep.Injected == 0 {
+			t.Fatalf("%s: no faults injected", name)
+		}
+		if rep.Retries == 0 && rep.Restores == 0 {
+			t.Fatalf("%s: no recovery observed (retries=0, restores=0)", name)
+		}
+		if rep.FaultSeconds <= rep.BaselineSeconds {
+			t.Fatalf("%s: no T penalty: baseline=%v chaos=%v",
+				name, rep.BaselineSeconds, rep.FaultSeconds)
+		}
+		if rep.PenaltyPct <= 0 {
+			t.Fatalf("%s: penalty = %v, want > 0", name, rep.PenaltyPct)
+		}
+	}
+}
+
+// TestChaosReportString pins the rendered block's key fields.
+func TestChaosReportString(t *testing.T) {
+	rep := ChaosReport{
+		Platform: "Giraph", Algorithm: "BFS", Dataset: "KGS", Seed: 7,
+		Match: true, BaselineSeconds: 10, FaultSeconds: 12, PenaltyPct: 20,
+		Injected: 2, Retries: 1, Restores: 1,
+		BaselineEPS: 1e6, FaultEPS: 8e5,
+	}
+	s := rep.String()
+	for _, want := range []string{"MATCH", "seed=7", "injected=2", "penalty=20.0%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+	rep.Match = false
+	if !strings.Contains(rep.String(), "MISMATCH") {
+		t.Fatal("mismatch not rendered")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -169,6 +170,13 @@ type ExecutionProfile struct {
 	// engine, so it doubles as the carrier for live instrumentation;
 	// a nil Obs keeps every tracing call a single branch.
 	Obs *obs.Session
+
+	// Fault, when non-nil, is the active fault injector (see
+	// internal/fault): the profile carries it into every engine the
+	// same way it carries Obs, so chaos runs need no per-engine
+	// plumbing. A nil Fault keeps every injection check a single
+	// branch.
+	Fault *fault.Injector
 }
 
 // Session returns the profile's observability session; safe on a nil
@@ -178,6 +186,16 @@ func (p *ExecutionProfile) Session() *obs.Session {
 		return nil
 	}
 	return p.Obs
+}
+
+// Injector returns the profile's fault injector; safe on a nil
+// profile. A nil result disables injection (every fault.Injector
+// method is a no-op on nil).
+func (p *ExecutionProfile) Injector() *fault.Injector {
+	if p == nil {
+		return nil
+	}
+	return p.Fault
 }
 
 // AddPhase appends a phase.

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -185,6 +186,11 @@ type Engine struct {
 	// ChannelForced, when non-nil, overrides the optimiser's channel
 	// choice (used by the ablation benchmarks).
 	ChannelForced *ChannelType
+
+	// planSeq numbers the plans this engine has executed; it is the
+	// Step field of every fault-injection site, so a plan can target
+	// "the third iteration's job".
+	planSeq int
 }
 
 // ChannelType is how data moves between two operators.
@@ -222,6 +228,9 @@ func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
 	if par < 1 {
 		par = 1
 	}
+	inj := e.Profile.Injector()
+	planStep := e.planSeq
+	e.planSeq++
 
 	e.Profile.AddPhase(cluster.Phase{
 		Name: p.name + ":deploy", Kind: cluster.PhaseSetup,
@@ -255,76 +264,94 @@ func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
 
 		case opMap:
 			in := e.channel(n, results[n.inputs[0].id], false)
-			out := &interim{parts: make([]Dataset, par), keyed: n.annotation == SameKey && in.keyed}
-			var ops, maxOps int64
-			var mu sync.Mutex
-			parallelParts(par, func(i int) {
-				var c Collector
-				var local int64
-				for _, r := range in.parts[i] {
-					local += 1 + recBytes(r)/64
-					n.mapFn(r, &c)
-				}
-				local += c.extraOps
-				mu.Lock()
-				out.parts[i] = c.out
-				out.records += int64(len(c.out))
-				out.bytes += c.bytes
-				ops += local
-				if local > maxOps {
-					maxOps = local
-				}
-				mu.Unlock()
+			out, err := e.runOp(n, planStep, inj, func() (*interim, int64, int64) {
+				out := &interim{parts: make([]Dataset, par), keyed: n.annotation == SameKey && in.keyed}
+				var ops, maxOps int64
+				var mu sync.Mutex
+				parallelParts(par, func(i int) {
+					var c Collector
+					var local int64
+					for _, r := range in.parts[i] {
+						local += 1 + recBytes(r)/64
+						n.mapFn(r, &c)
+					}
+					local += c.extraOps
+					mu.Lock()
+					out.parts[i] = c.out
+					out.records += int64(len(c.out))
+					out.bytes += c.bytes
+					ops += local
+					if local > maxOps {
+						maxOps = local
+					}
+					mu.Unlock()
+				})
+				return out, ops, maxOps
 			})
+			if err != nil {
+				tr.End(opSpan)
+				return nil, err
+			}
 			results[n.id] = out
-			e.addCompute(n, out, ops, maxOps)
 
 		case opReduce:
 			in := e.channel(n, results[n.inputs[0].id], true)
-			out := &interim{parts: make([]Dataset, par), keyed: n.annotation == SameKey}
-			var ops, maxOps int64
-			var mu sync.Mutex
-			parallelParts(par, func(i int) {
-				var c Collector
-				local := groupApply(in.parts[i], func(key int64, group []Record) {
-					n.reduceFn(key, group, &c)
+			out, err := e.runOp(n, planStep, inj, func() (*interim, int64, int64) {
+				out := &interim{parts: make([]Dataset, par), keyed: n.annotation == SameKey}
+				var ops, maxOps int64
+				var mu sync.Mutex
+				parallelParts(par, func(i int) {
+					var c Collector
+					local := groupApply(in.parts[i], func(key int64, group []Record) {
+						n.reduceFn(key, group, &c)
+					})
+					local += c.extraOps
+					mu.Lock()
+					out.parts[i] = c.out
+					out.records += int64(len(c.out))
+					out.bytes += c.bytes
+					ops += local
+					if local > maxOps {
+						maxOps = local
+					}
+					mu.Unlock()
 				})
-				local += c.extraOps
-				mu.Lock()
-				out.parts[i] = c.out
-				out.records += int64(len(c.out))
-				out.bytes += c.bytes
-				ops += local
-				if local > maxOps {
-					maxOps = local
-				}
-				mu.Unlock()
+				return out, ops, maxOps
 			})
+			if err != nil {
+				tr.End(opSpan)
+				return nil, err
+			}
 			results[n.id] = out
-			e.addCompute(n, out, ops, maxOps)
 
 		case opMatch, opCoGroup:
 			left := e.channel(n, results[n.inputs[0].id], true)
 			right := e.channel(n, results[n.inputs[1].id], true)
-			out := &interim{parts: make([]Dataset, par), keyed: n.annotation == SameKey}
-			var ops, maxOps int64
-			var mu sync.Mutex
-			parallelParts(par, func(i int) {
-				var c Collector
-				local := joinParts(n, in2(left, i), in2(right, i), &c)
-				local += c.extraOps
-				mu.Lock()
-				out.parts[i] = c.out
-				out.records += int64(len(c.out))
-				out.bytes += c.bytes
-				ops += local
-				if local > maxOps {
-					maxOps = local
-				}
-				mu.Unlock()
+			out, err := e.runOp(n, planStep, inj, func() (*interim, int64, int64) {
+				out := &interim{parts: make([]Dataset, par), keyed: n.annotation == SameKey}
+				var ops, maxOps int64
+				var mu sync.Mutex
+				parallelParts(par, func(i int) {
+					var c Collector
+					local := joinParts(n, in2(left, i), in2(right, i), &c)
+					local += c.extraOps
+					mu.Lock()
+					out.parts[i] = c.out
+					out.records += int64(len(c.out))
+					out.bytes += c.bytes
+					ops += local
+					if local > maxOps {
+						maxOps = local
+					}
+					mu.Unlock()
+				})
+				return out, ops, maxOps
 			})
+			if err != nil {
+				tr.End(opSpan)
+				return nil, err
+			}
 			results[n.id] = out
-			e.addCompute(n, out, ops, maxOps)
 
 		case opCross:
 			left := results[n.inputs[0].id]
@@ -336,30 +363,36 @@ func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
 				Name: n.name + ":broadcast", Kind: cluster.PhaseShuffle,
 				Net: right.bytes * int64(e.HW.Nodes-1),
 			})
-			out := &interim{parts: make([]Dataset, par)}
-			var ops, maxOps int64
-			var mu sync.Mutex
-			parallelParts(par, func(i int) {
-				var c Collector
-				var local int64
-				for _, l := range left.parts[i] {
-					for _, r := range rightAll {
-						local++
-						n.crossFn(l, r, &c)
+			out, err := e.runOp(n, planStep, inj, func() (*interim, int64, int64) {
+				out := &interim{parts: make([]Dataset, par)}
+				var ops, maxOps int64
+				var mu sync.Mutex
+				parallelParts(par, func(i int) {
+					var c Collector
+					var local int64
+					for _, l := range left.parts[i] {
+						for _, r := range rightAll {
+							local++
+							n.crossFn(l, r, &c)
+						}
 					}
-				}
-				mu.Lock()
-				out.parts[i] = c.out
-				out.records += int64(len(c.out))
-				out.bytes += c.bytes
-				ops += local
-				if local > maxOps {
-					maxOps = local
-				}
-				mu.Unlock()
+					mu.Lock()
+					out.parts[i] = c.out
+					out.records += int64(len(c.out))
+					out.bytes += c.bytes
+					ops += local
+					if local > maxOps {
+						maxOps = local
+					}
+					mu.Unlock()
+				})
+				return out, ops, maxOps
 			})
+			if err != nil {
+				tr.End(opSpan)
+				return nil, err
+			}
 			results[n.id] = out
-			e.addCompute(n, out, ops, maxOps)
 
 		case opSink:
 			in := results[n.inputs[0].id]
@@ -377,6 +410,44 @@ func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
 	}
 	reg.Counter("dataflow.plans").Add(1)
 	return outputs, nil
+}
+
+// runOp executes one operator's compute with per-attempt restart under
+// fault injection — Nephele's task restart: a failed attempt's output
+// is discarded and the operator re-runs from its still-materialised
+// channel inputs, so retries never change the data. The wasted work
+// lands in recovery phases; an exhausted budget degrades to a clean
+// typed abort of the whole plan.
+func (e *Engine) runOp(n *Node, planStep int, inj *fault.Injector, compute func() (*interim, int64, int64)) (*interim, error) {
+	for attempt := 0; ; attempt++ {
+		out, ops, maxOps := compute()
+		if inj != nil {
+			site := fault.Site{Engine: "dataflow", Op: n.name, Step: planStep, Task: n.id, Attempt: attempt}
+			if kind, ok := inj.FailAt(site); ok {
+				e.Profile.Session().R().Counter("task.retries").Add(1)
+				e.Profile.AddPhase(cluster.Phase{
+					Name: n.name + ":recovery", Kind: cluster.PhaseCompute,
+					Ops: ops, MaxPartOps: maxOps,
+				})
+				e.Profile.AddPhase(cluster.Phase{
+					Name: n.name + ":restart", Kind: cluster.PhaseSetup,
+					Tasks: fault.BackoffUnits(attempt),
+				})
+				if attempt+1 >= inj.MaxAttempts() {
+					return nil, fmt.Errorf("dataflow: operator %q (node %d): injected %v persisted through %d attempts: %w",
+						n.name, n.id, kind, attempt+1, fault.ErrBudgetExhausted)
+				}
+				continue
+			}
+			if f, ok := inj.StragglerAt(site); ok {
+				// A straggling subtask stretches the operator's barrier
+				// wait; the answer is unaffected.
+				maxOps = int64(float64(maxOps) * f)
+			}
+		}
+		e.addCompute(n, out, ops, maxOps)
+		return out, nil
+	}
 }
 
 func in2(in *interim, i int) Dataset {
@@ -417,6 +488,16 @@ func (e *Engine) channel(n *Node, in *interim, needKeyed bool) *interim {
 			Net: remote,
 		})
 		e.Profile.Session().R().Counter("dataflow.shuffle_bytes").Add(remote)
+		// An injected drop loses the shuffle's in-flight data; the
+		// channel retransmits from the producer's materialised output.
+		if inj := e.Profile.Injector(); inj != nil &&
+			inj.DropAt(fault.Site{Engine: "dataflow", Op: n.name, Step: e.planSeq - 1, Task: n.id}) {
+			e.Profile.AddPhase(cluster.Phase{
+				Name: n.name + ":reshuffle", Kind: cluster.PhaseShuffle,
+				Net: remote,
+			})
+			e.Profile.Session().R().Counter("shuffle.refetch").Add(remote)
+		}
 	}
 	par := len(in.parts)
 	flat := flatten(in.parts)

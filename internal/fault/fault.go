@@ -1,0 +1,397 @@
+// Package fault is a deterministic, seed-driven fault injector for the
+// platform engines. The paper treats failures as first-class
+// experimental outcomes (Giraph's OOM crashes on STATS, Hadoop task
+// failures masked by re-execution); LDBC Graphalytics goes further and
+// makes robustness part of the benchmark itself. This package closes
+// that gap: a chaos run declares a Plan (which faults, where, how
+// often), every engine consults the Plan's Injector at well-defined
+// sites (superstep barriers, task attempts, message deliveries), and
+// the engines' recovery paths — task retry, checkpoint restore,
+// operator restart — turn each injected fault into measurable recovery
+// overhead instead of a terminal error.
+//
+// Determinism is the hard contract. Injection decisions are pure
+// functions of (plan seed, rule index, site): a site either always or
+// never fires for a given plan, independent of goroutine scheduling.
+// Combined with recovery paths that replay only deterministic work,
+// this guarantees that a fault-injected run converges to results
+// byte-identical to the fault-free run — the property the chaos CI
+// matrix asserts.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+const (
+	// Crash kills a worker or task process mid-run (Giraph worker
+	// death, Hadoop task JVM exit).
+	Crash Kind = iota
+	// TaskFail fails one task attempt without killing the worker (the
+	// Hadoop task-level fault its re-execution model was built for).
+	TaskFail
+	// MsgDrop loses a message bundle in flight; recovery retransmits.
+	MsgDrop
+	// MsgDelay delays a message bundle past the barrier; recovery waits.
+	MsgDelay
+	// Straggler slows one worker down by Rule.Factor without failing it;
+	// recovery is speculative re-execution (where the engine supports
+	// it) or barrier skew.
+	Straggler
+	// OOM makes one task or worker exceed its memory budget. Engines
+	// recover exactly as from Crash (the container is killed and the
+	// work re-executed elsewhere), so an injected OOM exercises the
+	// paper's crash mode without being terminal.
+	OOM
+
+	numKinds
+)
+
+var kindNames = [...]string{"crash", "task_fail", "msg_drop", "msg_delay", "straggler", "oom"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Any matches every value of a Site field in a Rule.
+const Any = -1
+
+// DefaultMaxAttempts is the per-site retry budget when the plan does
+// not set one — Hadoop's mapred.map.max.attempts default of 4 (one
+// original attempt plus three retries).
+const DefaultMaxAttempts = 4
+
+// ErrBudgetExhausted is the typed error every engine degrades to when
+// a site keeps failing past the plan's retry budget: a clean abort, no
+// panic, no hang. Test with errors.Is.
+var ErrBudgetExhausted = errors.New("fault: retry budget exhausted")
+
+// Site identifies one injection opportunity. Engines construct Sites
+// at their recovery-relevant points; which fields are meaningful is
+// engine-specific and documented in DESIGN.md §12.
+type Site struct {
+	// Engine is the consulting engine: "pregel", "mapreduce", "yarn",
+	// "dataflow", or "gas".
+	Engine string
+	// Op is the operation class ("superstep", "map", "reduce",
+	// "shuffle", "deliver", "iteration", "worker", "am-launch", or a
+	// dataflow operator name).
+	Op string
+	// Step is the superstep / iteration / job / plan sequence number.
+	Step int
+	// Task is the task, partition, or operator index (Any if not
+	// meaningful).
+	Task int
+	// Attempt is how many times this site has already failed; retry
+	// loops increment it so rules can target first attempts only.
+	Attempt int
+}
+
+// Rule matches a class of sites and fires a fault there. The zero
+// Step/Task/Attempt match only zero; use Any (-1) to match every
+// value. A Prob of 0 is treated as 1 (deterministic rules are the
+// common case; probabilistic rules set Prob explicitly).
+type Rule struct {
+	Kind    Kind
+	Engine  string // "" matches any engine
+	Op      string // "" matches any op
+	Step    int
+	Task    int
+	Attempt int
+	// Prob is the per-site firing probability; the decision is a pure
+	// hash of (seed, rule, site), not a shared RNG, so it is identical
+	// across runs and goroutine schedules.
+	Prob float64
+	// MaxShots caps how many times the rule fires in one run (0 =
+	// unlimited). The cap is enforced with an atomic counter, so under
+	// parallel evaluation which sites win the last shots can vary — but
+	// recovery makes every outcome converge to identical results.
+	MaxShots int
+	// Factor is the straggler slowdown multiplier (default 4).
+	Factor float64
+}
+
+func (r Rule) matches(s Site) bool {
+	if r.Engine != "" && r.Engine != s.Engine {
+		return false
+	}
+	if r.Op != "" && r.Op != s.Op {
+		return false
+	}
+	if r.Step != Any && r.Step != s.Step {
+		return false
+	}
+	if r.Task != Any && r.Task != s.Task {
+		return false
+	}
+	if r.Attempt != Any && r.Attempt != s.Attempt {
+		return false
+	}
+	return true
+}
+
+// Plan is a complete chaos schedule for one run.
+type Plan struct {
+	// Seed drives every injection decision.
+	Seed int64
+	// MaxAttempts is the per-site retry budget (0 = DefaultMaxAttempts).
+	MaxAttempts int
+	// CheckpointEvery hints the pregel engine's checkpoint cadence for
+	// runs whose config does not set one (0 = restart from the initial
+	// state).
+	CheckpointEvery int
+	Rules           []Rule
+}
+
+// CrashAt returns a rule that kills exactly the first attempt at the
+// given step — the building block of the checkpoint-restore
+// equivalence tests.
+func CrashAt(step int) Rule {
+	return Rule{Kind: Crash, Step: step, Task: Any, Attempt: 0, Prob: 1, MaxShots: 1}
+}
+
+// DefaultPlan is the standard chaos plan: a bounded number of
+// first-attempt crashes (each recovered by exactly one retry or
+// restore), a sprinkle of dropped and delayed message bundles, and an
+// occasional straggler. Every fault is recoverable within the default
+// budget, so a DefaultPlan run must converge to fault-free results.
+func DefaultPlan(seed int64) Plan {
+	return Plan{
+		Seed:            seed,
+		MaxAttempts:     DefaultMaxAttempts,
+		CheckpointEvery: 2,
+		Rules: []Rule{
+			{Kind: Crash, Step: Any, Task: Any, Attempt: 0, Prob: 1, MaxShots: 2},
+			{Kind: OOM, Step: Any, Task: Any, Attempt: 0, Prob: 0.10, MaxShots: 1},
+			{Kind: MsgDrop, Step: Any, Task: Any, Attempt: Any, Prob: 0.05, MaxShots: 16},
+			{Kind: MsgDelay, Step: Any, Task: Any, Attempt: Any, Prob: 0.05, MaxShots: 8},
+			{Kind: Straggler, Step: Any, Task: Any, Attempt: Any, Prob: 0.02, MaxShots: 4, Factor: 4},
+		},
+	}
+}
+
+// Injector evaluates a Plan. All methods are safe for concurrent use
+// and safe on a nil receiver (the disabled state, like a nil
+// obs.Session).
+type Injector struct {
+	plan     Plan
+	shots    []atomic.Int64
+	injected atomic.Int64
+	byKind   [numKinds]atomic.Int64
+
+	// Registry counters, resolved once; nil handles are single-branch
+	// no-ops.
+	cInjected *obs.Counter
+	cKind     [numKinds]*obs.Counter
+}
+
+// New returns an injector for the plan. reg may be nil; when set, the
+// injector advances fault.injected and per-kind fault.<kind> counters
+// on every firing.
+func New(plan Plan, reg *obs.Registry) *Injector {
+	in := &Injector{
+		plan:      plan,
+		shots:     make([]atomic.Int64, len(plan.Rules)),
+		cInjected: reg.Counter("fault.injected"),
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		in.cKind[k] = reg.Counter("fault." + k.String())
+	}
+	return in
+}
+
+// MaxAttempts returns the plan's per-site retry budget.
+func (in *Injector) MaxAttempts() int {
+	if in == nil || in.plan.MaxAttempts <= 0 {
+		return DefaultMaxAttempts
+	}
+	return in.plan.MaxAttempts
+}
+
+// CheckpointHint returns the plan's pregel checkpoint cadence hint.
+func (in *Injector) CheckpointHint() int {
+	if in == nil {
+		return 0
+	}
+	return in.plan.CheckpointEvery
+}
+
+// Injected reports how many faults have fired so far.
+func (in *Injector) Injected() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.injected.Load()
+}
+
+// InjectedOf reports how many faults of one kind have fired.
+func (in *Injector) InjectedOf(k Kind) int64 {
+	if in == nil || k >= numKinds {
+		return 0
+	}
+	return in.byKind[k].Load()
+}
+
+// fire evaluates the plan's rules of the given kinds at s, in rule
+// order, and returns the first that fires.
+func (in *Injector) fire(s Site, kinds ...Kind) (Rule, bool) {
+	if in == nil {
+		return Rule{}, false
+	}
+	for i, r := range in.plan.Rules {
+		wanted := false
+		for _, k := range kinds {
+			if r.Kind == k {
+				wanted = true
+				break
+			}
+		}
+		if !wanted || !r.matches(s) {
+			continue
+		}
+		if !decide(in.plan.Seed, i, s, r.Prob) {
+			continue
+		}
+		if r.MaxShots > 0 && in.shots[i].Add(1) > int64(r.MaxShots) {
+			continue
+		}
+		in.injected.Add(1)
+		in.byKind[r.Kind].Add(1)
+		in.cInjected.Add(1)
+		in.cKind[r.Kind].Add(1)
+		return r, true
+	}
+	return Rule{}, false
+}
+
+// FailAt reports whether a process-failure fault (Crash, TaskFail, or
+// OOM) fires at s. Engines treat all three the same way for recovery:
+// discard the attempt's work and retry or restore.
+func (in *Injector) FailAt(s Site) (Kind, bool) {
+	r, ok := in.fire(s, Crash, TaskFail, OOM)
+	return r.Kind, ok
+}
+
+// DropAt reports whether a message bundle is lost at s; the engine
+// must retransmit it (and account the extra traffic as recovery
+// overhead).
+func (in *Injector) DropAt(s Site) bool {
+	_, ok := in.fire(s, MsgDrop)
+	return ok
+}
+
+// DelayAt reports whether a message bundle is delayed past the
+// barrier at s; the engine charges an extra barrier wait.
+func (in *Injector) DelayAt(s Site) bool {
+	_, ok := in.fire(s, MsgDelay)
+	return ok
+}
+
+// StragglerAt reports whether the worker at s is slowed down, and by
+// what factor.
+func (in *Injector) StragglerAt(s Site) (float64, bool) {
+	r, ok := in.fire(s, Straggler)
+	if !ok {
+		return 1, false
+	}
+	if r.Factor <= 1 {
+		return 4, true
+	}
+	return r.Factor, true
+}
+
+// Backoff is the modelled wait before retry attempt (0-based): capped
+// exponential, 100ms doubling to a 3.2s ceiling — Hadoop's retry
+// pacing. The simulated engines never sleep; they convert this
+// duration into cost-model units (BackoffUnits) so the penalty shows
+// up in the simulated T instead of real wall-clock.
+func Backoff(attempt int) time.Duration {
+	const base = 100 * time.Millisecond
+	const cap = 3200 * time.Millisecond
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt > 5 {
+		return cap
+	}
+	d := base << uint(attempt)
+	if d > cap {
+		return cap
+	}
+	return d
+}
+
+// BackoffUnits converts the capped-exponential backoff before retry
+// attempt into task-launch units for the cluster cost model (one unit
+// = one task-wave overhead): 1, 2, 4, ... capped at 8.
+func BackoffUnits(attempt int) int {
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt > 3 {
+		return 8
+	}
+	return 1 << uint(attempt)
+}
+
+// decide is the pure injection decision: a splitmix64-style hash of
+// (seed, rule index, site) compared against the rule's probability.
+// Identical inputs give identical outcomes on every run and schedule.
+func decide(seed int64, rule int, s Site, prob float64) bool {
+	if prob <= 0 {
+		prob = 1 // zero value means "always" — deterministic rules are the common case
+	}
+	if prob >= 1 {
+		return true
+	}
+	h := mix(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	h = mix(h ^ uint64(rule)*0xbf58476d1ce4e5b9)
+	h = mix(h ^ strHash(s.Engine))
+	h = mix(h ^ strHash(s.Op))
+	h = mix(h ^ uint64(int64(s.Step)))
+	h = mix(h ^ uint64(int64(s.Task))*0x94d049bb133111eb)
+	h = mix(h ^ uint64(int64(s.Attempt)))
+	return float64(h>>11)/float64(1<<53) < prob
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// strHash is FNV-1a.
+func strHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Overhead converts a fault-free and a fault-injected execution time
+// into the recovery-overhead penalty (fractional increase in T, which
+// is also the fractional decrease in EPS since the workload is
+// fixed). Returns 0 when the baseline is degenerate.
+func Overhead(baseSeconds, chaosSeconds float64) float64 {
+	if baseSeconds <= 0 || math.IsNaN(chaosSeconds) {
+		return 0
+	}
+	return (chaosSeconds - baseSeconds) / baseSeconds
+}

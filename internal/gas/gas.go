@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -134,6 +135,14 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 	runSpan := tr.Begin("gas:run", obs.KindRun, -1, obs.SpanRef{})
 	defer tr.End(runSpan)
 
+	// Fault injection: GraphLab's synchronous engine commits an
+	// iteration atomically at its barrier, so an injected failure
+	// mid-iteration discards the attempt's double-buffered state and
+	// restarts the iteration from the committed values — nothing
+	// partial ever lands, which is what keeps chaos runs byte-identical.
+	inj := profile.Injector()
+	cRetries := reg.Counter("task.retries")
+
 	// ---- Vertex-cut partitioning (for replication accounting) ------
 	// Edges are hashed to machines; a vertex is replicated on every
 	// machine that holds one of its edges. GraphLab synchronises each
@@ -201,102 +210,142 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		}
 		iterSpan := tr.Begin("iteration", obs.KindSuperstep, int64(iter), runSpan)
 
-		copy(newValues, values)
-		clear(partOps)
-		activeCount = 0 // recounted from signalled vertices below
-
-		var mu sync.Mutex
+		var totalOps, maxOps int64
 		var gatherEdges, scatterEdges, applyCalls, netBytes int64
+		var budgetErr error
+		for attempt := 0; ; attempt++ {
+			if attempt > 0 {
+				// Discard the failed attempt's double-buffered state and
+				// rerun the iteration from the committed values.
+				clear(nextActive)
+			}
+			copy(newValues, values)
+			clear(partOps)
+			activeCount = 0 // recounted from signalled vertices below
+			gatherEdges, scatterEdges, applyCalls, netBytes = 0, 0, 0, 0
 
-		parallelVertices(n, func(w, lo, hi int) {
-			var lg, ls, la, lnet, lops int64
-			sc := &scratch[w]
-			localPartOps := sc.partOps
-			clear(localPartOps)
-			signalled := sc.signalled[:0]
-			for vi := lo; vi < hi; vi++ {
-				if !active[vi] {
-					continue
-				}
-				v := graph.VertexID(vi)
-				// Gather over in-edges (plus out-edges under GatherBoth
-				// on directed graphs).
-				var acc Accum
-				gatherFrom := g.In(v)
-				if cfg.GatherBoth && g.Directed() {
-					sc.both = bothNeighborsInto(g, v, sc.both[:0])
-					gatherFrom = sc.both
-				}
-				for _, u := range gatherFrom {
-					a := cfg.Program.Gather(u, v, values[u], values[v])
-					lg++
-					lops++
-					if a == nil {
+			var mu sync.Mutex
+
+			parallelVertices(n, func(w, lo, hi int) {
+				var lg, ls, la, lnet, lops int64
+				sc := &scratch[w]
+				localPartOps := sc.partOps
+				clear(localPartOps)
+				signalled := sc.signalled[:0]
+				for vi := lo; vi < hi; vi++ {
+					if !active[vi] {
 						continue
 					}
-					if acc == nil {
-						acc = a
-					} else {
-						acc = cfg.Program.Sum(acc, a)
+					v := graph.VertexID(vi)
+					// Gather over in-edges (plus out-edges under GatherBoth
+					// on directed graphs).
+					var acc Accum
+					gatherFrom := g.In(v)
+					if cfg.GatherBoth && g.Directed() {
+						sc.both = bothNeighborsInto(g, v, sc.both[:0])
+						gatherFrom = sc.both
 					}
-				}
-				// Apply.
-				nv := cfg.Program.Apply(v, values[v], acc)
-				newValues[v] = nv
-				la++
-				lops++
-				// Mirror synchronisation: the master ships the new
-				// value to every mirror (gather results came the other
-				// way — count both directions).
-				r := int64(replicas[v]) - 1
-				if r > 0 {
-					sz := valSize(nv) + 8
-					if acc != nil {
-						sz += acc.Size()
+					for _, u := range gatherFrom {
+						a := cfg.Program.Gather(u, v, values[u], values[v])
+						lg++
+						lops++
+						if a == nil {
+							continue
+						}
+						if acc == nil {
+							acc = a
+						} else {
+							acc = cfg.Program.Sum(acc, a)
+						}
 					}
-					lnet += r * sz
-				}
-				// Scatter over out-edges (plus in-edges under
-				// ScatterBoth on directed graphs).
-				scatterTo := g.Out(v)
-				if cfg.ScatterBoth && g.Directed() {
-					sc.both = bothNeighborsInto(g, v, sc.both[:0])
-					scatterTo = sc.both
-				}
-				for _, dst := range scatterTo {
-					ls++
+					// Apply.
+					nv := cfg.Program.Apply(v, values[v], acc)
+					newValues[v] = nv
+					la++
 					lops++
-					if cfg.Program.Scatter(v, dst, nv, values[dst]) {
-						signalled = append(signalled, dst)
+					// Mirror synchronisation: the master ships the new
+					// value to every mirror (gather results came the other
+					// way — count both directions).
+					r := int64(replicas[v]) - 1
+					if r > 0 {
+						sz := valSize(nv) + 8
+						if acc != nil {
+							sz += acc.Size()
+						}
+						lnet += r * sz
+					}
+					// Scatter over out-edges (plus in-edges under
+					// ScatterBoth on directed graphs).
+					scatterTo := g.Out(v)
+					if cfg.ScatterBoth && g.Directed() {
+						sc.both = bothNeighborsInto(g, v, sc.both[:0])
+						scatterTo = sc.both
+					}
+					for _, dst := range scatterTo {
+						ls++
+						lops++
+						if cfg.Program.Scatter(v, dst, nv, values[dst]) {
+							signalled = append(signalled, dst)
+						}
+					}
+					localPartOps[int(v)%hw.Nodes] += lops
+					lops = 0
+				}
+				sc.signalled = signalled
+				mu.Lock()
+				gatherEdges += lg
+				scatterEdges += ls
+				applyCalls += la
+				netBytes += lnet
+				for i, o := range localPartOps {
+					partOps[i] += o
+				}
+				for _, dst := range signalled {
+					if !nextActive[dst] {
+						nextActive[dst] = true
+						activeCount++
 					}
 				}
-				localPartOps[int(v)%hw.Nodes] += lops
-				lops = 0
-			}
-			sc.signalled = signalled
-			mu.Lock()
-			gatherEdges += lg
-			scatterEdges += ls
-			applyCalls += la
-			netBytes += lnet
-			for i, o := range localPartOps {
-				partOps[i] += o
-			}
-			for _, dst := range signalled {
-				if !nextActive[dst] {
-					nextActive[dst] = true
-					activeCount++
+				mu.Unlock()
+			})
+
+			totalOps, maxOps = 0, 0
+			for _, o := range partOps {
+				totalOps += o
+				if o > maxOps {
+					maxOps = o
 				}
 			}
-			mu.Unlock()
-		})
-
-		var totalOps, maxOps int64
-		for _, o := range partOps {
-			totalOps += o
-			if o > maxOps {
-				maxOps = o
+			if inj == nil {
+				break
 			}
+			site := fault.Site{Engine: "gas", Op: "iteration", Step: iter, Task: fault.Any, Attempt: attempt}
+			if kind, ok := inj.FailAt(site); ok {
+				cRetries.Add(1)
+				if profile != nil {
+					// The failed attempt's full pass is wasted work.
+					profile.AddPhase(cluster.Phase{
+						Name: fmt.Sprintf("gas:iter-%d:recovery", iter), Kind: cluster.PhaseCompute,
+						Ops: totalOps, MaxPartOps: perWorkerMax(maxOps, totalOps, hw),
+						Net: netBytes, Barriers: 1,
+					})
+				}
+				if attempt+1 >= inj.MaxAttempts() {
+					budgetErr = fmt.Errorf("gas: iteration %d: injected %v persisted through %d attempts: %w",
+						iter, kind, attempt+1, fault.ErrBudgetExhausted)
+					break
+				}
+				continue
+			}
+			if f, ok := inj.StragglerAt(site); ok {
+				// A straggling machine stretches the barrier wait.
+				maxOps = int64(float64(maxOps) * f)
+			}
+			break
+		}
+		if budgetErr != nil {
+			tr.End(iterSpan)
+			return nil, budgetErr
 		}
 
 		st.GatherEdges += gatherEdges

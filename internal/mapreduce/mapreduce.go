@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/hdfs"
 	"repro/internal/obs"
 )
@@ -88,6 +89,20 @@ func (c *Counters) Add(name string, n int64) { c.reg.Counter(name).Add(n) }
 // Get reads a counter.
 func (c *Counters) Get(name string) int64 { return c.reg.Counter(name).Get() }
 
+// merge folds src into c. Under fault injection each task attempt
+// accumulates into a scratch counter set that is merged only when the
+// attempt succeeds, so a retried task bumps every counter exactly once
+// — the idempotence Hadoop's drivers (convergence checks on "updated")
+// depend on.
+func (c *Counters) merge(src *Counters) {
+	if c == nil || src == nil || src.reg == nil {
+		return
+	}
+	for name, v := range src.reg.Snapshot().Counters {
+		c.Add(name, v)
+	}
+}
+
 // Emitter collects records emitted by a map or reduce function and
 // accounts their sizes.
 type Emitter struct {
@@ -133,7 +148,12 @@ type JobStats struct {
 	// (and read back during the merge).
 	SpillBytes  int64
 	OutputBytes int64
-	Counters    *Counters
+	// TaskRetries counts task attempts that failed and were re-executed
+	// (nonzero only under fault injection); SpeculativeTasks counts
+	// straggling tasks re-executed speculatively on another slot.
+	TaskRetries      int64
+	SpeculativeTasks int64
+	Counters         *Counters
 }
 
 // Engine executes jobs on a simulated cluster.
@@ -161,6 +181,11 @@ type Engine struct {
 	// is what blows task memory on shuffle-heavy jobs (the paper's
 	// Hadoop/YARN crashes on STATS over DotaLeague).
 	PeakJobBytesPerNode int64
+
+	// jobSeq numbers the jobs this engine has run; it is the Step field
+	// of every fault-injection site, so a plan can target "the third
+	// job of the driver loop".
+	jobSeq int
 }
 
 // New returns an engine on the given hardware.
@@ -205,6 +230,18 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	jobSpan := tr.Begin(cfg.Name, obs.KindJob, reg.Counter("mapreduce.jobs").Get(), obs.SpanRef{})
 	defer tr.End(jobSpan)
 
+	// Fault injection: Hadoop's model is per-task-attempt retry — a
+	// failed attempt's output and counters are discarded wholesale and
+	// the task relaunches (with capped exponential backoff) on another
+	// slot, up to the attempt budget; stragglers get a speculative
+	// second copy whose work is wasted when the original wins. Both
+	// show up as recovery overhead in the profile, never in the output.
+	inj := e.Profile.Injector()
+	jobStep := e.jobSeq
+	e.jobSeq++
+	var wastedOps, relaunchUnits int64
+	var firstErr error
+
 	// ---- Map phase -------------------------------------------------
 	// splitDataset returns only non-empty splits, so small inputs spawn
 	// fewer map tasks rather than phantom empty ones.
@@ -216,13 +253,50 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 
 	mapSpan := tr.Begin("map", obs.KindPhase, -1, jobSpan)
 	parallelFor(nMapTasks, func(m int) {
-		em := &Emitter{counters: stats.Counters}
+		var em *Emitter
 		var ops int64
-		for _, kv := range splits[m] {
-			ops += opsFor(kv.Value.Size())
-			cfg.Mapper.Map(kv.Key, kv.Value, em)
+		for attempt := 0; ; attempt++ {
+			em = &Emitter{counters: stats.Counters}
+			var scratch *Counters
+			if inj != nil {
+				scratch = NewCounters()
+				em.counters = scratch
+			}
+			ops = 0
+			for _, kv := range splits[m] {
+				ops += opsFor(kv.Value.Size())
+				cfg.Mapper.Map(kv.Key, kv.Value, em)
+			}
+			ops += em.extraOps
+			if inj == nil {
+				break
+			}
+			site := fault.Site{Engine: "mapreduce", Op: "map", Step: jobStep, Task: m, Attempt: attempt}
+			if kind, ok := inj.FailAt(site); ok {
+				mu.Lock()
+				stats.TaskRetries++
+				wastedOps += ops
+				relaunchUnits += int64(fault.BackoffUnits(attempt))
+				if attempt+1 >= inj.MaxAttempts() && firstErr == nil {
+					firstErr = fmt.Errorf("mapreduce: job %q map task %d: injected %v persisted through %d attempts: %w",
+						cfg.Name, m, kind, attempt+1, fault.ErrBudgetExhausted)
+				}
+				mu.Unlock()
+				if attempt+1 >= inj.MaxAttempts() {
+					return
+				}
+				continue
+			}
+			stats.Counters.merge(scratch)
+			if _, slow := inj.StragglerAt(site); slow {
+				mu.Lock()
+				stats.SpeculativeTasks++
+				wastedOps += ops
+				relaunchUnits++
+				mu.Unlock()
+			}
+			break
 		}
-		ops += em.extraOps
 		// Partition map output by key hash. Two passes over the records
 		// share one exactly-sized backing array instead of growing nReds
 		// slices by repeated append.
@@ -270,6 +344,9 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	})
 
 	tr.End(mapSpan)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
 	reg.Counter("mapreduce.map_input_records").Add(stats.MapInputRecords)
 	reg.Counter("mapreduce.map_output_records").Add(stats.MapOutputRecs)
 	reg.Counter("mapreduce.map_output_bytes").Add(stats.MapOutputBytes)
@@ -309,6 +386,20 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	if perNodeJob > e.PeakJobBytesPerNode {
 		e.PeakJobBytesPerNode = perNodeJob
 	}
+	// Injected shuffle drops: a reducer's fetch of one partition is
+	// lost and refetched from the map output on disk — pure overhead,
+	// the data always arrives.
+	var refetchBytes int64
+	if inj != nil {
+		for r := 0; r < nReds; r++ {
+			if inj.DropAt(fault.Site{Engine: "mapreduce", Op: "shuffle", Step: jobStep, Task: r}) {
+				for _, kv := range reduceInput[r] {
+					refetchBytes += 10 + kv.Value.Size()
+				}
+			}
+		}
+		reg.Counter("shuffle.refetch").Add(refetchBytes)
+	}
 	tr.End(shuffleSpan)
 	reg.Counter("mapreduce.shuffle_bytes").Add(stats.ShuffleBytes)
 
@@ -317,27 +408,63 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	outputs := make([]Dataset, nReds)
 	var redOps, maxRedOps int64
 	parallelFor(nReds, func(r int) {
-		em := &Emitter{counters: stats.Counters}
+		var em *Emitter
+		var ops, groups int64
 		part := reduceInput[r]
 		slices.SortStableFunc(part, func(a, b KV) int { return cmp.Compare(a.Key, b.Key) })
-		var ops int64
-		groups := int64(0)
-		var vals []Value // reused across groups; reducers must not retain it
-		for i := 0; i < len(part); {
-			j := i
-			vals = vals[:0]
-			var groupBytes int64
-			for j < len(part) && part[j].Key == part[i].Key {
-				vals = append(vals, part[j].Value)
-				groupBytes += part[j].Value.Size()
-				j++
+		for attempt := 0; ; attempt++ {
+			em = &Emitter{counters: stats.Counters}
+			var scratch *Counters
+			if inj != nil {
+				scratch = NewCounters()
+				em.counters = scratch
 			}
-			ops += opsFor(groupBytes)
-			cfg.Reducer.Reduce(part[i].Key, vals, em)
-			groups++
-			i = j
+			ops, groups = 0, 0
+			var vals []Value // reused across groups; reducers must not retain it
+			for i := 0; i < len(part); {
+				j := i
+				vals = vals[:0]
+				var groupBytes int64
+				for j < len(part) && part[j].Key == part[i].Key {
+					vals = append(vals, part[j].Value)
+					groupBytes += part[j].Value.Size()
+					j++
+				}
+				ops += opsFor(groupBytes)
+				cfg.Reducer.Reduce(part[i].Key, vals, em)
+				groups++
+				i = j
+			}
+			ops += em.extraOps
+			if inj == nil {
+				break
+			}
+			site := fault.Site{Engine: "mapreduce", Op: "reduce", Step: jobStep, Task: r, Attempt: attempt}
+			if kind, ok := inj.FailAt(site); ok {
+				mu.Lock()
+				stats.TaskRetries++
+				wastedOps += ops
+				relaunchUnits += int64(fault.BackoffUnits(attempt))
+				if attempt+1 >= inj.MaxAttempts() && firstErr == nil {
+					firstErr = fmt.Errorf("mapreduce: job %q reduce task %d: injected %v persisted through %d attempts: %w",
+						cfg.Name, r, kind, attempt+1, fault.ErrBudgetExhausted)
+				}
+				mu.Unlock()
+				if attempt+1 >= inj.MaxAttempts() {
+					return
+				}
+				continue
+			}
+			stats.Counters.merge(scratch)
+			if _, slow := inj.StragglerAt(site); slow {
+				mu.Lock()
+				stats.SpeculativeTasks++
+				wastedOps += ops
+				relaunchUnits++
+				mu.Unlock()
+			}
+			break
 		}
-		ops += em.extraOps
 		outputs[r] = em.records
 
 		mu.Lock()
@@ -351,6 +478,9 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	})
 
 	tr.End(reduceSpan)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
 	reg.Counter("mapreduce.reduce_input_groups").Add(stats.ReduceInputGroups)
 	reg.Counter("mapreduce.reduce_output_records").Add(stats.ReduceOutput)
 
@@ -390,6 +520,32 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 		Name: cfg.Name + ":write", Kind: cluster.PhaseWrite,
 		DiskWrite: stats.OutputBytes,
 	})
+	if stats.TaskRetries > 0 || stats.SpeculativeTasks > 0 || refetchBytes > 0 {
+		reg.Counter("task.retries").Add(stats.TaskRetries)
+		reg.Counter("task.speculative").Add(stats.SpeculativeTasks)
+		// Recovery overhead: the discarded attempts' compute, the
+		// relaunches (backoff modelled as extra task-launch units —
+		// Hadoop's barrier cost is zero, its task startup is not), and
+		// the refetched shuffle partitions.
+		e.Profile.AddPhase(cluster.Phase{
+			Name: cfg.Name + ":recovery", Kind: cluster.PhaseCompute,
+			Ops: wastedOps,
+		})
+		e.Profile.AddPhase(cluster.Phase{
+			Name: cfg.Name + ":task-relaunch", Kind: cluster.PhaseSetup,
+			Tasks: int(relaunchUnits),
+		})
+		if refetchBytes > 0 {
+			remoteRefetch := refetchBytes
+			if e.HW.Nodes > 1 {
+				remoteRefetch = refetchBytes * int64(e.HW.Nodes-1) / int64(e.HW.Nodes)
+			}
+			e.Profile.AddPhase(cluster.Phase{
+				Name: cfg.Name + ":shuffle-refetch", Kind: cluster.PhaseShuffle,
+				Net: remoteRefetch, DiskRead: refetchBytes,
+			})
+		}
+	}
 	return out, stats, nil
 }
 

@@ -18,8 +18,10 @@ import (
 //     pool (the paper reports whole-machine CPU%).
 //   - MemGB: heap in use (runtime.MemStats.HeapAlloc), in GB.
 //   - NetMbps: the rate of change of the engines' network byte
-//     counters (any "*.net_bytes" or "*.shuffle_bytes" counter),
-//     converted to Mbit/s over each sampling interval.
+//     counters (any "*.net_bytes" or "*.shuffle_bytes" counter, plus
+//     the chaos retransmission counters "msg.redelivered" and
+//     "shuffle.refetch"), converted to Mbit/s over each sampling
+//     interval.
 //
 // The whole simulation runs in one process, which plays the role of
 // the paper's representative computing node; the master curves are
@@ -59,11 +61,14 @@ func Measured(platform string, samples []obs.Sample) Trace {
 }
 
 // netBytes sums every counter that tracks bytes crossing the simulated
-// network, across all engines.
+// network, across all engines — including bytes retransmitted by the
+// fault-recovery paths, which real monitoring would see as extra
+// network traffic.
 func netBytes(s obs.Sample) int64 {
 	var total int64
 	for name, v := range s.Counters {
-		if strings.HasSuffix(name, ".net_bytes") || strings.HasSuffix(name, ".shuffle_bytes") {
+		if strings.HasSuffix(name, ".net_bytes") || strings.HasSuffix(name, ".shuffle_bytes") ||
+			name == "msg.redelivered" || name == "shuffle.refetch" {
 			total += v
 		}
 	}

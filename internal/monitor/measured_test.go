@@ -54,6 +54,20 @@ func TestMeasuredMapsSamplesOntoCurves(t *testing.T) {
 	}
 }
 
+func TestNetBytesCountsRetransmissions(t *testing.T) {
+	// Chaos retransmission counters are network traffic: real
+	// monitoring would see the redelivered bytes on the wire.
+	s := obs.Sample{Counters: map[string]int64{
+		"pregel.net_bytes": 100,
+		"msg.redelivered":  30,
+		"shuffle.refetch":  20,
+		"task.retries":     7, // not a byte counter
+	}}
+	if got := netBytes(s); got != 150 {
+		t.Fatalf("netBytes = %d, want 150", got)
+	}
+}
+
 func TestMeasuredEmpty(t *testing.T) {
 	tr := Measured("Hadoop", nil)
 	if tr.Source != SourceMeasured || tr.Platform != "Hadoop" {

@@ -32,7 +32,12 @@ type CheckResult struct {
 	GotAllocs int64
 	// Regressed marks entries whose slowdown exceeds Tolerance.
 	Regressed bool
-	// Reason says which metric tripped.
+	// Skipped marks baseline entries with no measurable target in the
+	// fixed suites (or no committed figure): they are reported with a
+	// notice instead of being silently dropped, and never fail the
+	// check.
+	Skipped bool
+	// Reason says which metric tripped, or why the entry was skipped.
 	Reason string
 }
 
@@ -71,7 +76,8 @@ func reference(r *Record) *Metrics {
 // Check loads the given baseline files, re-measures every entry that
 // the fixed suites know how to run, and returns the per-benchmark
 // comparison. Entries in a baseline with no matching suite entry are
-// skipped (suites only grow; see the package comment in perf.go).
+// reported as skipped with a notice rather than hard-failing or
+// vanishing (suites only grow; see the package comment in perf.go).
 func Check(paths []string) ([]CheckResult, error) {
 	suite := map[string]Bench{}
 	for _, bm := range Suite(BaselineScale, BaselineSeed) {
@@ -99,6 +105,13 @@ func Check(paths []string) ([]CheckResult, error) {
 			ref := reference(bl.Benchmarks[name])
 			bm, ok := suite[name]
 			if !ok || ref == nil {
+				reason := "no measurable target in the current suites"
+				if ref == nil {
+					reason = "no committed measurement"
+				}
+				out = append(out, CheckResult{
+					Name: name, File: path, Skipped: true, Reason: reason,
+				})
 				continue
 			}
 			live := MeasureSuite([]Bench{bm})[name]
@@ -122,6 +135,11 @@ func RenderCheck(results []CheckResult) (string, bool) {
 		"benchmark", "ref ns/op", "got ns/op", "ref allocs", "got allocs", "verdict")
 	failed := false
 	for _, c := range results {
+		if c.Skipped {
+			fmt.Fprintf(&b, "%-36s %12s %12s %11s %11s  skipped (%s)\n",
+				c.Name, "-", "-", "-", "-", c.Reason)
+			continue
+		}
 		verdict := "ok"
 		if c.Regressed {
 			failed = true

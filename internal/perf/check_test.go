@@ -1,6 +1,8 @@
 package perf
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -47,6 +49,52 @@ func TestReferencePrefersAfter(t *testing.T) {
 	}
 	if got := reference(&Record{Before: before}); got != before {
 		t.Fatal("reference must fall back to the pre-PR measurement")
+	}
+}
+
+func TestCheckSkipsUnknownEntries(t *testing.T) {
+	// A baseline entry with no matching suite benchmark (or no
+	// committed figure) must surface as a skip notice, not hard-fail
+	// and not silently vanish.
+	dir := t.TempDir()
+	path := dir + "/BENCH_skip.json"
+	bl := &Baseline{
+		Benchmarks: map[string]*Record{
+			"retired/benchmark":  {Before: &Metrics{NsPerOp: 100}},
+			"figure-less/record": {},
+		},
+	}
+	data, err := json.Marshal(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, err := Check([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 skips: %+v", len(results), results)
+	}
+	for _, c := range results {
+		if !c.Skipped {
+			t.Fatalf("%s not marked skipped", c.Name)
+		}
+		if c.Regressed {
+			t.Fatalf("%s skipped entry marked regressed", c.Name)
+		}
+	}
+	table, failed := RenderCheck(results)
+	if failed {
+		t.Fatal("skipped entries must not fail the check")
+	}
+	if !strings.Contains(table, "skipped (no measurable target in the current suites)") {
+		t.Fatalf("skip notice missing from table:\n%s", table)
+	}
+	if !strings.Contains(table, "skipped (no committed measurement)") {
+		t.Fatalf("no-measurement notice missing from table:\n%s", table)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/datagen"
 	"repro/internal/dbalgo"
+	"repro/internal/fault"
 	"repro/internal/gasalgo"
 	"repro/internal/graph"
 	"repro/internal/graphdb"
@@ -73,6 +74,12 @@ type Spec struct {
 	// Obs, when non-nil, is the observability session the run's engine
 	// reports real spans and counters into (see internal/obs).
 	Obs *obs.Session
+	// Fault, when non-nil, is the fault injector driving a chaos run
+	// (see internal/fault); it rides the execution profile into the
+	// platform's engine the same way Obs does. The distributed engines
+	// recover injected faults; Neo4j is single-machine and out of the
+	// chaos model's scope.
+	Fault *fault.Injector
 }
 
 // Status is the outcome class of a run.
@@ -260,7 +267,7 @@ func max64(a, b int64) int64 {
 type mrPlatform struct {
 	name, version string
 	costs         cluster.CostModel
-	newEngine     func(hw cluster.Hardware, sess *obs.Session) (*mapreduce.Engine, func(), error)
+	newEngine     func(hw cluster.Hardware, sess *obs.Session, inj *fault.Injector) (*mapreduce.Engine, func(), error)
 }
 
 // NewHadoop returns the Hadoop platform (hadoop-0.20.203.0 in the
@@ -268,9 +275,10 @@ type mrPlatform struct {
 func NewHadoop() Platform {
 	return &mrPlatform{
 		name: "Hadoop", version: "hadoop-0.20.203.0", costs: cluster.HadoopCosts(),
-		newEngine: func(hw cluster.Hardware, sess *obs.Session) (*mapreduce.Engine, func(), error) {
+		newEngine: func(hw cluster.Hardware, sess *obs.Session, inj *fault.Injector) (*mapreduce.Engine, func(), error) {
 			e := mapreduce.New(hw, hdfs.New())
 			e.Profile.Obs = sess
+			e.Profile.Fault = inj
 			return e, func() {}, nil
 		},
 	}
@@ -281,9 +289,10 @@ func NewHadoop() Platform {
 func NewYARN() Platform {
 	return &mrPlatform{
 		name: "YARN", version: "hadoop-2.0.3-alpha", costs: cluster.YARNCosts(),
-		newEngine: func(hw cluster.Hardware, sess *obs.Session) (*mapreduce.Engine, func(), error) {
+		newEngine: func(hw cluster.Hardware, sess *obs.Session, inj *fault.Injector) (*mapreduce.Engine, func(), error) {
 			rm := yarn.NewResourceManager(hw, hdfs.New())
 			rm.Obs = sess
+			rm.Fault = inj
 			am, err := rm.Submit("graphbench", 1<<30)
 			if err != nil {
 				return nil, nil, err
@@ -301,7 +310,7 @@ func (p *mrPlatform) Costs() cluster.CostModel { return p.costs }
 func (p *mrPlatform) Run(spec Spec) *Result {
 	r := &Result{Profile: &cluster.ExecutionProfile{}}
 	fillIDs(r, spec, p.name)
-	eng, release, err := p.newEngine(spec.HW, spec.Obs)
+	eng, release, err := p.newEngine(spec.HW, spec.Obs, spec.Fault)
 	if err != nil {
 		r.Status = Crashed
 		r.Err = err
@@ -366,6 +375,7 @@ func (p stratoPlatform) Run(spec Spec) *Result {
 	fillIDs(r, spec, p.Name())
 	eng := dataflow.New(spec.HW)
 	eng.Profile.Obs = spec.Obs
+	eng.Profile.Fault = spec.Fault
 
 	var out any
 	var err error
@@ -411,7 +421,7 @@ func (giraphPlatform) Kind() string             { return "Graph, Distributed" }
 func (giraphPlatform) Costs() cluster.CostModel { return cluster.GiraphCosts() }
 
 func (p giraphPlatform) Run(spec Spec) *Result {
-	r := &Result{Profile: &cluster.ExecutionProfile{Obs: spec.Obs}}
+	r := &Result{Profile: &cluster.ExecutionProfile{Obs: spec.Obs, Fault: spec.Fault}}
 	fillIDs(r, spec, p.Name())
 	cm := p.Costs()
 	proj := projection(spec)
@@ -501,7 +511,7 @@ func (graphlabPlatform) Kind() string             { return "Graph, Distributed" 
 func (graphlabPlatform) Costs() cluster.CostModel { return cluster.GraphLabCosts() }
 
 func (p graphlabPlatform) Run(spec Spec) *Result {
-	r := &Result{Profile: &cluster.ExecutionProfile{Obs: spec.Obs}}
+	r := &Result{Profile: &cluster.ExecutionProfile{Obs: spec.Obs, Fault: spec.Fault}}
 	fillIDs(r, spec, p.Name())
 	inputBytes := graph.TextSize(spec.G)
 

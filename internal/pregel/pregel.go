@@ -11,10 +11,13 @@ package pregel
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -77,7 +80,15 @@ type Config struct {
 	SkipSetup bool
 	// CheckpointEvery writes a fault-tolerance checkpoint (vertex
 	// values plus in-flight messages, to the DFS) every N supersteps —
-	// Giraph's periodic checkpointing (Section 3.1). Zero disables it.
+	// Giraph's periodic checkpointing (Section 3.1). Zero disables it,
+	// unless an active fault injector supplies a cadence hint. Under
+	// fault injection the checkpoint is also retained in memory and an
+	// injected worker crash rolls the engine back to it, replaying the
+	// lost supersteps; with no checkpoint the run restarts from the
+	// initial state. Values and Messages must be treated as immutable
+	// (replaced via SetValue, never mutated in place) for restore to
+	// reproduce fault-free results exactly — every shipped algorithm
+	// already follows this rule.
 	CheckpointEvery int
 }
 
@@ -351,6 +362,25 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 	runSpan := tr.Begin("pregel:run", obs.KindRun, -1, obs.SpanRef{})
 	defer tr.End(runSpan)
 
+	// Fault injection: when a chaos run attaches an injector through
+	// the profile, the engine keeps its latest checkpoint in memory and
+	// an injected crash rolls back to it, replaying the lost supersteps
+	// — Giraph's checkpoint-restore. Snapshots are maintained only under
+	// injection, so fault-free runs pay nothing.
+	inj := profile.Injector()
+	ckEvery := cfg.CheckpointEvery
+	if ckEvery == 0 {
+		ckEvery = inj.CheckpointHint()
+	}
+	cRestores := reg.Counter("checkpoint.restore")
+	cRedelivered := reg.Counter("msg.redelivered")
+	var snap *snapshot
+	var attempts map[int]int // per-superstep attempt number (injection metadata, survives restore)
+	if inj != nil {
+		attempts = make(map[int]int)
+		snap = capture(0, e.values, active, activeCount, inbox, pendingMsgs, e.aggPrev, st)
+	}
+
 	if profile != nil && !cfg.SkipSetup {
 		profile.AddPhase(cluster.Phase{
 			Name: "pregel:setup", Kind: cluster.PhaseSetup,
@@ -364,6 +394,32 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		}
 		if activeCount == 0 && pendingMsgs == 0 {
 			break
+		}
+		if inj != nil {
+			a := attempts[e.superstep]
+			if kind, ok := inj.FailAt(fault.Site{Engine: "pregel", Op: "superstep", Step: e.superstep, Task: fault.Any, Attempt: a}); ok {
+				attempts[e.superstep] = a + 1
+				if a+1 >= inj.MaxAttempts() {
+					return nil, fmt.Errorf("pregel: superstep %d: injected %v persisted through %d attempts: %w",
+						e.superstep, kind, a+1, fault.ErrBudgetExhausted)
+				}
+				// A worker died: all in-memory state on that node is
+				// gone, so every worker rolls back to the last
+				// checkpoint and the lost supersteps replay. The replay
+				// re-appends its superstep phases — that repeated work
+				// is exactly the recovery overhead the chaos report
+				// measures.
+				crashed := e.superstep
+				activeCount, pendingMsgs, st = snap.restoreInto(e, active, inbox)
+				cRestores.Add(1)
+				if profile != nil {
+					profile.AddPhase(cluster.Phase{
+						Name: fmt.Sprintf("restore-%d", crashed), Kind: cluster.PhaseRead,
+						DiskRead: snap.stateBytes, Tasks: parts, Barriers: 1,
+					})
+				}
+				continue
+			}
 		}
 		ssSpan := tr.Begin("superstep", obs.KindSuperstep, int64(e.superstep), runSpan)
 
@@ -429,6 +485,11 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		}
 		// Deliver per destination partition in parallel; each
 		// destination partition drains all source outboxes in order.
+		// Injected drops are acked-and-retransmitted (cost, not data
+		// loss — BSP delivery is reliable) and injected delays stall an
+		// extra barrier, so both show up as overhead without perturbing
+		// the algorithm.
+		var retransBytes, delayedBundles int64
 		var dwg sync.WaitGroup
 		for dp := 0; dp < parts; dp++ {
 			dwg.Add(1)
@@ -436,7 +497,21 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 				defer dwg.Done()
 				var bytes int64
 				for sp := 0; sp < parts; sp++ {
-					for _, env := range workers[sp].outbox[dp] {
+					bundle := workers[sp].outbox[dp]
+					if inj != nil && len(bundle) > 0 {
+						site := fault.Site{Engine: "pregel", Op: "deliver", Step: e.superstep, Task: sp*parts + dp}
+						if inj.DropAt(site) {
+							var bb int64
+							for _, env := range bundle {
+								bb += env.msg.Size() + cfg.MessageEnvelope
+							}
+							atomic.AddInt64(&retransBytes, bb)
+						}
+						if inj.DelayAt(site) {
+							atomic.AddInt64(&delayedBundles, 1)
+						}
+					}
+					for _, env := range bundle {
 						if box := inbox[env.dst]; cfg.Combiner != nil && len(box) == 1 {
 							box[0] = cfg.Combiner.Combine(box[0], env.msg)
 						} else {
@@ -453,6 +528,15 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 			}(dp)
 		}
 		dwg.Wait()
+		if retransBytes > 0 || delayedBundles > 0 {
+			cRedelivered.Add(retransBytes)
+			if profile != nil {
+				profile.AddPhase(cluster.Phase{
+					Name: fmt.Sprintf("superstep-%d:redeliver", e.superstep), Kind: cluster.PhaseShuffle,
+					Net: retransBytes, Barriers: int(delayedBundles),
+				})
+			}
+		}
 
 		var maxInbox, totalOps, maxOps int64
 		for p := 0; p < parts; p++ {
@@ -462,6 +546,18 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 			totalOps += partOps[p]
 			if partOps[p] > maxOps {
 				maxOps = partOps[p]
+			}
+		}
+		if inj != nil {
+			// An injected straggler slows one worker's share of the
+			// superstep, stretching the barrier wait — skew, not wrong
+			// answers.
+			for p := 0; p < parts; p++ {
+				if f, ok := inj.StragglerAt(fault.Site{Engine: "pregel", Op: "worker", Step: e.superstep, Task: p}); ok {
+					if slowed := int64(float64(partOps[p]) * f); slowed > maxOps {
+						maxOps = slowed
+					}
+				}
 			}
 		}
 		if maxInbox > st.PeakInboxBytes {
@@ -492,7 +588,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 				Ops: totalOps, MaxPartOps: scaleToWorkers(maxOps, totalOps, parts, hw.Workers()),
 				Net: superNet, Barriers: 1,
 			})
-			if cfg.CheckpointEvery > 0 && (e.superstep+1)%cfg.CheckpointEvery == 0 {
+			if ckEvery > 0 && (e.superstep+1)%ckEvery == 0 {
 				var stateBytes int64
 				for _, v := range e.values {
 					if v != nil {
@@ -513,6 +609,9 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		tr.End(ssSpan)
 		e.aggPrev = agg
 		e.superstep++
+		if inj != nil && ckEvery > 0 && e.superstep%ckEvery == 0 {
+			snap = capture(e.superstep, e.values, active, activeCount, inbox, pendingMsgs, e.aggPrev, st)
+		}
 	}
 
 	st.Supersteps = e.superstep
@@ -539,6 +638,65 @@ func scaleToWorkers(maxPart, total int64, parts, workers int) int64 {
 		return mean
 	}
 	return scaled
+}
+
+// snapshot is an in-memory checkpoint: everything needed to restart
+// the run at the beginning of superstep `superstep`. Individual Values
+// and Messages are shared with the live arrays (they are immutable by
+// contract); the slices themselves are fresh copies, so repeated
+// restores from the same snapshot stay intact.
+type snapshot struct {
+	superstep   int
+	values      []Value
+	active      []bool
+	activeCount int64
+	inbox       [][]Message
+	pendingMsgs int64
+	aggPrev     map[string]float64
+	st          Stats
+	stateBytes  int64 // what a DFS restore streams back in
+}
+
+func capture(superstep int, values []Value, active []bool, activeCount int64,
+	inbox [][]Message, pendingMsgs int64, aggPrev map[string]float64, st Stats) *snapshot {
+	s := &snapshot{
+		superstep:   superstep,
+		values:      append([]Value(nil), values...),
+		active:      append([]bool(nil), active...),
+		activeCount: activeCount,
+		inbox:       make([][]Message, len(inbox)),
+		pendingMsgs: pendingMsgs,
+		aggPrev:     maps.Clone(aggPrev),
+		st:          st,
+	}
+	for v, msgs := range inbox {
+		if len(msgs) > 0 {
+			s.inbox[v] = append([]Message(nil), msgs...)
+			for _, m := range msgs {
+				s.stateBytes += m.Size()
+			}
+		}
+	}
+	for _, v := range s.values {
+		if v != nil {
+			s.stateBytes += v.Size()
+		}
+	}
+	return s
+}
+
+// restoreInto copies the checkpoint back into the engine's working
+// state, keeping the live arrays' capacity, and returns the restored
+// loop-local state.
+func (s *snapshot) restoreInto(e *Engine, active []bool, inbox [][]Message) (activeCount, pendingMsgs int64, st Stats) {
+	copy(e.values, s.values)
+	copy(active, s.active)
+	for v := range inbox {
+		inbox[v] = append(inbox[v][:0], s.inbox[v]...)
+	}
+	e.aggPrev = maps.Clone(s.aggPrev)
+	e.superstep = s.superstep
+	return s.activeCount, s.pendingMsgs, s.st
 }
 
 // SortMessages orders messages deterministically by size; helper for

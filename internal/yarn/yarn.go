@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/hdfs"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
@@ -35,6 +36,13 @@ type ResourceManager struct {
 	// application plus container-allocation counters, and is handed to
 	// each application's MapReduce engine.
 	Obs *obs.Session
+
+	// Fault, when non-nil, injects failures at the scheduling layer —
+	// ApplicationMaster launches that die and are relaunched by the RM
+	// (up to the attempt budget), and granted containers that are lost
+	// and re-requested — and is handed down to each application's
+	// MapReduce engine for task-level injection.
+	Fault *fault.Injector
 
 	mu        sync.Mutex
 	nextAppID int
@@ -78,8 +86,32 @@ func (rm *ResourceManager) Submit(name string, amMemory int64) (*ApplicationMast
 		engine: mapreduce.New(rm.hw, rm.fs),
 	}
 	am.engine.Profile.Obs = rm.Obs
-	am.span = rm.Obs.T().Begin("yarn:app", obs.KindJob, int64(rm.nextAppID), obs.SpanRef{})
+	am.engine.Profile.Fault = rm.Fault
 	reg := rm.Obs.R()
+	// An injected AM death is recovered by the RM relaunching the AM in
+	// a fresh container; the job itself has not started yet, so the
+	// only cost is the extra launches (with backoff).
+	var relaunchUnits int
+	for attempt := 0; ; attempt++ {
+		kind, ok := rm.Fault.FailAt(fault.Site{Engine: "yarn", Op: "am-launch", Step: rm.nextAppID, Task: 0, Attempt: attempt})
+		if !ok {
+			break
+		}
+		relaunchUnits += fault.BackoffUnits(attempt)
+		reg.Counter("task.retries").Add(1)
+		reg.Counter("yarn.am_restarts").Add(1)
+		if attempt+1 >= rm.Fault.MaxAttempts() {
+			rm.allocated -= amMemory
+			return nil, fmt.Errorf("yarn: %s AM launch: injected %v persisted through %d attempts: %w",
+				id, kind, attempt+1, fault.ErrBudgetExhausted)
+		}
+	}
+	if relaunchUnits > 0 {
+		am.engine.Profile.AddPhase(cluster.Phase{
+			Name: "yarn:am-relaunch", Kind: cluster.PhaseSetup, Tasks: relaunchUnits,
+		})
+	}
+	am.span = rm.Obs.T().Begin("yarn:app", obs.KindJob, int64(rm.nextAppID), obs.SpanRef{})
 	reg.Counter("yarn.apps_submitted").Add(1)
 	reg.Counter("yarn.containers_requested").Add(1)
 	reg.Gauge("yarn.allocated_bytes").Set(rm.allocated)
@@ -140,6 +172,25 @@ func (am *ApplicationMaster) RequestContainers(n int, bytes int64) error {
 	am.mu.Unlock()
 	reg := am.rm.Obs.R()
 	reg.Counter("yarn.containers_requested").Add(int64(n))
+	// An injected container loss is recovered by re-requesting a
+	// replacement: the lost container's memory is returned and granted
+	// again, so allocation is unchanged and only the request count (and
+	// launch overhead) grows.
+	if inj := am.rm.Fault; inj != nil {
+		lost := 0
+		for i := 0; i < n; i++ {
+			if _, ok := inj.FailAt(fault.Site{Engine: "yarn", Op: "container", Task: i}); ok {
+				lost++
+			}
+		}
+		if lost > 0 {
+			reg.Counter("yarn.containers_lost").Add(int64(lost))
+			reg.Counter("yarn.containers_requested").Add(int64(lost))
+			am.engine.Profile.AddPhase(cluster.Phase{
+				Name: "yarn:container-relaunch", Kind: cluster.PhaseSetup, Tasks: lost,
+			})
+		}
+	}
 	reg.Gauge("yarn.allocated_bytes").Set(am.rm.allocated)
 	return nil
 }

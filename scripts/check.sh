@@ -1,9 +1,23 @@
 #!/usr/bin/env sh
 # Repo-wide verification: vet, build, full tests, and a race-detector
 # pass over the four engines' reused-buffer hot paths.
+#
+#   --chaos   additionally run one short seeded chaos smoke per engine
+#             (fault-injected run must match the fault-free run).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+run_chaos=0
+for arg in "$@"; do
+    case "$arg" in
+    --chaos) run_chaos=1 ;;
+    *)
+        echo "usage: $0 [--chaos]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "== go vet ./..."
 go vet ./...
@@ -43,5 +57,14 @@ echo "== fuzz seed smoke (graph text reader)"
 # Run every checked-in fuzz seed (plus any locally grown corpus)
 # through the fuzz targets once, without fuzzing for new inputs.
 go test -run 'Fuzz' ./internal/graph/
+
+if [ "$run_chaos" = 1 ]; then
+    echo "== chaos smoke (one seeded fault plan per engine)"
+    for engine in pregel mapreduce yarn dataflow gas; do
+        echo "-- chaos $engine"
+        go run ./cmd/graphbench -scale 40 -nodes 4 -fault-seed 1 \
+            chaos "$engine" BFS KGS
+    done
+fi
 
 echo "ok"
