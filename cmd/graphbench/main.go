@@ -51,6 +51,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run's spans (open in chrome://tracing or Perfetto)")
 	metricsOut := flag.String("metrics", "", "write the run's counters, gauges, and resource samples as JSON")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the fault plan for `chaos`")
+	partitioner := flag.String("partitioner", "", "placement strategy for distributed runs (hash range edgecut vertexcut grid; empty keeps engine defaults)")
+	shards := flag.Int("shards", 0, "shard count for the placement (0 = node count)")
 	flag.Parse()
 
 	perf.CacheDir = *cache
@@ -58,7 +60,8 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		sess = obs.NewSession(obs.Options{})
 	}
-	h := bench.New(bench.Config{Seed: *seed, Scale: *scale, CacheDir: *cache, Obs: sess})
+	h := bench.New(bench.Config{Seed: *seed, Scale: *scale, CacheDir: *cache, Obs: sess,
+		Partitioner: *partitioner, Shards: *shards})
 	emitCSV = *csv
 	args := flag.Args()
 	if len(args) == 0 {
@@ -183,6 +186,27 @@ func main() {
 		default:
 			fmt.Println("prediction: feasible")
 		}
+	case "partition-quality":
+		need(args, 2)
+		n := *shards
+		if n <= 0 {
+			n = *nodes
+		}
+		emit(h.PartitionQuality(args[1], n))
+	case "partition-study":
+		emit(h.PartitionStudy(*shards))
+	case "bench-partition":
+		need(args, 2)
+		phase := args[1]
+		out := "BENCH_pr6.json"
+		if len(args) > 2 {
+			out = args[2]
+		}
+		bl, err := perf.WritePartitionBaseline(out, phase)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s (%s)\n\n%s", out, phase, bl.Summary())
 	case "bench-baseline":
 		need(args, 2)
 		phase := args[1]
@@ -210,7 +234,7 @@ func main() {
 	case "bench-check":
 		files := args[1:]
 		if len(files) == 0 {
-			files = []string{"BENCH_pr2.json", "BENCH_pr3.json"}
+			files = []string{"BENCH_pr2.json", "BENCH_pr3.json", "BENCH_pr6.json"}
 		}
 		results, err := perf.Check(files)
 		if err != nil {
@@ -351,8 +375,11 @@ func usage() {
   graphbench [flags] explore <platform>
   graphbench [flags] loadtest <platform> <algorithm> <dataset>
   graphbench [flags] predict <platform> <algorithm> <dataset>
+  graphbench [flags] partition-quality <dataset>
+  graphbench [flags] partition-study
   graphbench bench-baseline <before|after> [file]
   graphbench bench-ingest <before|after> [file]
+  graphbench bench-partition <before|after> [file]
   graphbench bench-check [baseline.json ...]
   graphbench [flags] all
 
@@ -362,6 +389,9 @@ flags of note:
   -trace F     write the run's spans as a Chrome trace_event file
   -metrics F   write the run's counters and resource samples as JSON
   -fault-seed N  seed of the chaos fault plan (default 1)
+  -partitioner S placement strategy for distributed runs
+               (hash range edgecut vertexcut grid; empty keeps engine defaults)
+  -shards N    shard count for the placement (0 = node count)
 
 platforms:  Hadoop YARN Stratosphere Giraph GraphLab GraphLab(mp) Neo4j
 chaos engines: pregel mapreduce yarn dataflow gas

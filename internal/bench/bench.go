@@ -36,6 +36,14 @@ type Config struct {
 	// Obs, when non-nil, is handed to every run so the engines emit
 	// real spans and counters into it (see internal/obs).
 	Obs *obs.Session
+	// Partitioner, when non-empty (or when Shards > 0), requests an
+	// explicit placement strategy for every distributed run (see
+	// internal/partition). Empty with Shards == 0 keeps each engine's
+	// historical default layout.
+	Partitioner string
+	// Shards is the shard count for the explicit placement; 0 defaults
+	// to the run's node count.
+	Shards int
 }
 
 // DefaultConfig is the standard full-scale configuration.
@@ -83,9 +91,18 @@ func (h *Harness) Graph(dataset string) *graph.Graph {
 	return g
 }
 
-// Run executes (or reuses) one experiment.
+// Run executes (or reuses) one experiment under the harness's
+// configured placement.
 func (h *Harness) Run(platformName, alg, dataset string, hw cluster.Hardware) *platform.Result {
-	key := fmt.Sprintf("%s|%s|%s|%dx%d", platformName, alg, dataset, hw.Nodes, hw.CoresPerNode)
+	return h.runPlaced(platformName, alg, dataset, hw, h.cfg.Partitioner, h.cfg.Shards)
+}
+
+// runPlaced executes (or reuses) one experiment under an explicit
+// placement; partitioner == "" with shards == 0 is each engine's
+// default layout.
+func (h *Harness) runPlaced(platformName, alg, dataset string, hw cluster.Hardware, partitioner string, shards int) *platform.Result {
+	key := fmt.Sprintf("%s|%s|%s|%dx%d|%s-p%d",
+		platformName, alg, dataset, hw.Nodes, hw.CoresPerNode, partitioner, shards)
 	h.mu.Lock()
 	if r, ok := h.results[key]; ok {
 		h.mu.Unlock()
@@ -107,7 +124,8 @@ func (h *Harness) Run(platformName, alg, dataset string, hw cluster.Hardware) *p
 	r := p.Run(platform.Spec{
 		Algorithm: alg, Dataset: prof, G: g, HW: hw,
 		Params: params, WarmCache: true, ScaleFactor: h.cfg.Scale,
-		Obs: h.cfg.Obs,
+		Obs:         h.cfg.Obs,
+		Partitioner: partitioner, Shards: shards,
 	})
 	h.mu.Lock()
 	h.results[key] = r

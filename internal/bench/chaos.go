@@ -85,6 +85,7 @@ func (h *Harness) runSpec(platformName, alg, dataset string, hw cluster.Hardware
 		Algorithm: alg, Dataset: prof, G: g, HW: hw,
 		Params: params, WarmCache: true, ScaleFactor: h.cfg.Scale,
 		Obs: sess, Fault: inj,
+		Partitioner: h.cfg.Partitioner, Shards: h.cfg.Shards,
 	})
 }
 

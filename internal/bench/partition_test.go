@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/partition"
+)
+
+// TestChaosOnShardedGraph: the chaos determinism contract holds when
+// every engine runs over an explicit multi-shard placement — faults
+// are injected, recovered, and the sharded output still matches the
+// sharded fault-free run.
+func TestChaosOnShardedGraph(t *testing.T) {
+	h := New(Config{Seed: 42, Scale: 40, Partitioner: partition.EdgeCut, Shards: 4})
+	hw := cluster.DAS4(4, 1)
+	for _, name := range []string{"Giraph", "Hadoop", "YARN", "Stratosphere", "GraphLab"} {
+		rep := h.Chaos(name, "BFS", "KGS", hw, fault.DefaultPlan(1))
+		if rep.Err != nil {
+			t.Fatalf("%s: %v", name, rep.Err)
+		}
+		if !rep.Match {
+			t.Fatalf("%s: sharded chaos output diverged from sharded fault-free run", name)
+		}
+		if rep.Injected == 0 {
+			t.Fatalf("%s: no faults injected", name)
+		}
+	}
+}
+
+// TestPartitionQualityTable: same seed, fresh harness — identical
+// table, with one row per strategy and measurable hash-vs-edgecut
+// differences.
+func TestPartitionQualityTable(t *testing.T) {
+	render := func() string { return quick().PartitionQuality("KGS", 8).String() }
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("partition quality table not stable across reruns:\n%s\nvs\n%s", a, b)
+	}
+	tb := quick().PartitionQuality("KGS", 8)
+	if len(tb.Rows) != len(partition.Names()) {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), len(partition.Names()))
+	}
+	cut := map[string]string{}
+	for _, row := range tb.Rows {
+		cut[row[0]] = row[1]
+	}
+	if cut[partition.Hash] == cut[partition.EdgeCut] {
+		t.Fatalf("edge cut and hash report identical cut arcs (%s) — no measurable difference", cut[partition.Hash])
+	}
+}
+
+// TestPartitionStudy: the strategy x platform x dataset findings table
+// has the full grid and the edgecut-vs-hash delta notes.
+func TestPartitionStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30 platform runs; skipped under -short")
+	}
+	tb := quick().PartitionStudy(8)
+	wantRows := 2 * 3 * len(partition.Names())
+	if len(tb.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(tb.Rows), wantRows)
+	}
+	joined := strings.Join(tb.Notes, "\n")
+	if !strings.Contains(joined, "edge cut moves") {
+		t.Fatalf("missing edgecut-vs-hash delta notes:\n%s", joined)
+	}
+	for _, row := range tb.Rows {
+		if row[6] == "crash" {
+			t.Fatalf("run crashed: %v", row)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/partition"
 )
 
 // Hardware describes a simulated deployment. The defaults mirror
@@ -177,6 +178,13 @@ type ExecutionProfile struct {
 	// plumbing. A nil Fault keeps every injection check a single
 	// branch.
 	Fault *fault.Injector
+
+	// Part, when non-nil, is the placement the engines execute under
+	// (see internal/partition): each worker owns one shard, and only
+	// cross-node traffic pays network cost. It rides the profile into
+	// every engine exactly like Obs and Fault; a nil Part selects each
+	// engine's historical default layout.
+	Part *partition.Partitioning
 }
 
 // Session returns the profile's observability session; safe on a nil
@@ -196,6 +204,15 @@ func (p *ExecutionProfile) Injector() *fault.Injector {
 		return nil
 	}
 	return p.Fault
+}
+
+// Partitioning returns the profile's placement; safe on a nil profile.
+// A nil result means the engine should use its default layout.
+func (p *ExecutionProfile) Partitioning() *partition.Partitioning {
+	if p == nil {
+		return nil
+	}
+	return p.Part
 }
 
 // AddPhase appends a phase.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/partition"
 )
 
 // Value is a record payload; Size reports serialised bytes.
@@ -191,6 +192,15 @@ type Engine struct {
 	// Step field of every fault-injection site, so a plan can target
 	// "the third iteration's job".
 	planSeq int
+
+	// Per-Execute placement state (plans run sequentially): the degree
+	// of parallelism and the key router. Without a partitioning on the
+	// profile these are the worker count and the key-hash rule the
+	// engine always used; with one, subtasks own shards and channels
+	// charge network cost only for records that change machines.
+	par      int
+	keyOwner func(key int64) int
+	exactNet bool
 }
 
 // ChannelType is how data moves between two operators.
@@ -228,6 +238,16 @@ func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
 	if par < 1 {
 		par = 1
 	}
+	if pt := e.Profile.Partitioning(); pt != nil {
+		par = pt.Shards
+		e.keyOwner = pt.OwnerOf
+		e.exactNet = true
+	} else {
+		modulus := par
+		e.keyOwner = func(k int64) int { return int(uint64(k) % uint64(modulus)) }
+		e.exactNet = false
+	}
+	e.par = par
 	inj := e.Profile.Injector()
 	planStep := e.planSeq
 	e.planSeq++
@@ -252,7 +272,7 @@ func (e *Engine) Execute(p *Plan) ([]Dataset, error) {
 		opSpan := tr.Begin(n.name, obs.KindOperator, int64(n.id), planSpan)
 		switch n.kind {
 		case opSource:
-			parts := partition(n.source, par)
+			parts := e.split(n.source)
 			results[n.id] = &interim{parts: parts, keyed: true,
 				records: int64(len(n.source)), bytes: n.source.Bytes()}
 			if n.sourceSize > 0 {
@@ -480,7 +500,21 @@ func (e *Engine) channel(n *Node, in *interim, needKeyed bool) *interim {
 		e.Profile.Session().R().Counter("dataflow.shuffle_bytes").Add(in.bytes)
 	default:
 		remote := in.bytes
-		if e.HW.Nodes > 1 {
+		if e.exactNet {
+			// Explicit placement: a record pays network cost only when
+			// its producing subtask and its key's shard live on
+			// different machines (shards are hosted round-robin) — so
+			// the partitioner's cut quality sets the shuffle bill.
+			remote = 0
+			for i, p := range in.parts {
+				iNode := i % e.HW.Nodes
+				for _, r := range p {
+					if e.keyOwner(r.Key)%e.HW.Nodes != iNode {
+						remote += recBytes(r)
+					}
+				}
+			}
+		} else if e.HW.Nodes > 1 {
 			remote = in.bytes * int64(e.HW.Nodes-1) / int64(e.HW.Nodes)
 		}
 		e.Profile.AddPhase(cluster.Phase{
@@ -499,9 +533,8 @@ func (e *Engine) channel(n *Node, in *interim, needKeyed bool) *interim {
 			e.Profile.Session().R().Counter("shuffle.refetch").Add(remote)
 		}
 	}
-	par := len(in.parts)
 	flat := flatten(in.parts)
-	return &interim{parts: partition(flat, par), keyed: true,
+	return &interim{parts: e.split(flat), keyed: true,
 		records: in.records, bytes: in.bytes}
 }
 
@@ -579,25 +612,10 @@ func groupApply(part Dataset, fn func(key int64, group []Record)) int64 {
 	return ops
 }
 
-// partition splits records by key hash. Two counting passes share one
-// exactly-sized backing array instead of growing par slices by append.
-func partition(d Dataset, par int) []Dataset {
-	counts := make([]int, par)
-	for _, r := range d {
-		counts[int(uint64(r.Key)%uint64(par))]++
-	}
-	backing := make(Dataset, 0, len(d))
-	parts := make([]Dataset, par)
-	off := 0
-	for p := 0; p < par; p++ {
-		parts[p] = backing[off : off : off+counts[p]]
-		off += counts[p]
-	}
-	for _, r := range d {
-		p := int(uint64(r.Key) % uint64(par))
-		parts[p] = append(parts[p], r)
-	}
-	return parts
+// split buckets records by the engine's key router (key hash without
+// an explicit partitioning, shard ownership with one).
+func (e *Engine) split(d Dataset) []Dataset {
+	return partition.SplitByOwner(d, e.par, func(r Record) int { return e.keyOwner(r.Key) })
 }
 
 func flatten(parts []Dataset) Dataset {

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/cluster"
+	"repro/internal/partition"
 )
 
 func TestQuickPartitionFlattenConserves(t *testing.T) {
@@ -17,7 +18,7 @@ func TestQuickPartitionFlattenConserves(t *testing.T) {
 		for i := 0; i < n; i++ {
 			d = append(d, Record{Key: int64(rng.Intn(100)), Value: i64(1)})
 		}
-		parts := partition(d, p)
+		parts := partition.SplitByOwner(d, p, func(r Record) int { return int(uint64(r.Key) % uint64(p)) })
 		if len(parts) != p {
 			return false
 		}

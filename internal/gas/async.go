@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/partition"
 )
 
 // RunAsync executes a GAS program on GraphLab's asynchronous engine:
@@ -34,7 +35,13 @@ func RunAsync(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.
 		}
 	}
 
-	replicas := measureReplication(g, hw.Nodes)
+	part := profile.Partitioning()
+	if part == nil {
+		part = partition.VertexCutPartitioning(g, hw.Nodes)
+	} else if part.NumVertices() != n {
+		part = part.ResizeFor(n)
+	}
+	replicas := part.ReplicaCounts(g)
 	var replicaSum int64
 	for _, r := range replicas {
 		replicaSum += int64(r)

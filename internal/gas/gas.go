@@ -22,6 +22,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/partition"
 )
 
 // Value is a vertex state value.
@@ -143,12 +144,26 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 	inj := profile.Injector()
 	cRetries := reg.Counter("task.retries")
 
-	// ---- Vertex-cut partitioning (for replication accounting) ------
-	// Edges are hashed to machines; a vertex is replicated on every
-	// machine that holds one of its edges. GraphLab synchronises each
-	// mirror with its master every iteration the vertex participates.
+	// ---- Partitioning (replication + locality accounting) ----------
+	// By default edges are hashed to machines (GraphLab's random
+	// vertex-cut): a vertex is replicated on every machine that holds
+	// one of its edges, and each mirror synchronises with its master
+	// every iteration the vertex participates. A partitioning carried
+	// on the profile replaces that layout: vertex-cut strategies keep
+	// the mirror protocol (with their own replica sets), edge-cut
+	// strategies drop mirrors and instead pay per-edge network cost for
+	// remote gathers and scatter signals.
 	partSpan := tr.Begin("gas:partition", obs.KindPhase, -1, runSpan)
-	replicas := measureReplication(g, hw.Nodes)
+	part := profile.Partitioning()
+	if part == nil {
+		part = partition.VertexCutPartitioning(g, hw.Nodes)
+	} else if part.NumVertices() != n {
+		part = part.ResizeFor(n) // EVO regrows the graph between runs
+	}
+	shards := part.Shards
+	vertexCut := part.IsVertexCut()
+	owner := part.Owner
+	replicas := part.ReplicaCounts(g)
 	var replicaSum int64
 	for _, r := range replicas {
 		replicaSum += int64(r)
@@ -194,11 +209,12 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 	// signalled list, bothNeighbors buffer).
 	nextActive := make([]bool, n)
 	newValues := make([]Value, n)
-	partOps := make([]int64, hw.Nodes)
+	partOps := make([]int64, shards)
+	nodeOps := make([]int64, hw.Nodes)
 	nWorkers := maxChunks(n)
 	scratch := make([]workerScratch, nWorkers)
 	for w := range scratch {
-		scratch[w].partOps = make([]int64, hw.Nodes)
+		scratch[w].partOps = make([]int64, shards)
 	}
 
 	for {
@@ -237,6 +253,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 						continue
 					}
 					v := graph.VertexID(vi)
+					vo := owner[v]
 					// Gather over in-edges (plus out-edges under GatherBoth
 					// on directed graphs).
 					var acc Accum
@@ -246,6 +263,11 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 						gatherFrom = sc.both
 					}
 					for _, u := range gatherFrom {
+						if !vertexCut && owner[u] != vo {
+							// Edge-cut: reading a remote neighbour's value
+							// fetches its ghost copy over the network.
+							lnet += valSize(values[u]) + 8
+						}
 						a := cfg.Program.Gather(u, v, values[u], values[v])
 						lg++
 						lops++
@@ -263,16 +285,18 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 					newValues[v] = nv
 					la++
 					lops++
-					// Mirror synchronisation: the master ships the new
-					// value to every mirror (gather results came the other
-					// way — count both directions).
-					r := int64(replicas[v]) - 1
-					if r > 0 {
-						sz := valSize(nv) + 8
-						if acc != nil {
-							sz += acc.Size()
+					if vertexCut {
+						// Mirror synchronisation: the master ships the new
+						// value to every mirror (gather results came the
+						// other way — count both directions).
+						r := int64(replicas[v]) - 1
+						if r > 0 {
+							sz := valSize(nv) + 8
+							if acc != nil {
+								sz += acc.Size()
+							}
+							lnet += r * sz
 						}
-						lnet += r * sz
 					}
 					// Scatter over out-edges (plus in-edges under
 					// ScatterBoth on directed graphs).
@@ -286,9 +310,14 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 						lops++
 						if cfg.Program.Scatter(v, dst, nv, values[dst]) {
 							signalled = append(signalled, dst)
+							if !vertexCut && owner[dst] != vo {
+								// Edge-cut: signalling a remote owner is a
+								// small control message.
+								lnet += 16
+							}
 						}
 					}
-					localPartOps[int(v)%hw.Nodes] += lops
+					localPartOps[vo] += lops
 					lops = 0
 				}
 				sc.signalled = signalled
@@ -309,9 +338,16 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 				mu.Unlock()
 			})
 
+			// Shards are hosted round-robin on machines; barrier skew is
+			// set by the busiest machine, summing its co-hosted shards.
+			// With shards == nodes (the default) this is the identity.
 			totalOps, maxOps = 0, 0
-			for _, o := range partOps {
+			clear(nodeOps)
+			for s, o := range partOps {
 				totalOps += o
+				nodeOps[s%hw.Nodes] += o
+			}
+			for _, o := range nodeOps {
 				if o > maxOps {
 					maxOps = o
 				}
@@ -419,47 +455,6 @@ func bothNeighborsInto(g *graph.Graph, v graph.VertexID, buf []graph.VertexID) [
 	buf = append(buf, g.Out(v)...)
 	buf = append(buf, g.In(v)...)
 	return buf
-}
-
-// measureReplication assigns each edge to a machine by hash (random
-// vertex-cut) and returns per-vertex replica counts (>= 1).
-func measureReplication(g *graph.Graph, nodes int) []int {
-	n := g.NumVertices()
-	seen := make([]uint64, n) // bitset over machines, nodes <= 64 in all experiments
-	if nodes > 64 {
-		nodes = 64
-	}
-	for u := graph.VertexID(0); u < graph.VertexID(n); u++ {
-		for _, v := range g.Out(u) {
-			m := edgeMachine(u, v, nodes)
-			seen[u] |= 1 << m
-			seen[v] |= 1 << m
-		}
-	}
-	replicas := make([]int, n)
-	for i, bits := range seen {
-		c := popcount(bits)
-		if c == 0 {
-			c = 1
-		}
-		replicas[i] = c
-	}
-	return replicas
-}
-
-func edgeMachine(u, v graph.VertexID, nodes int) int {
-	h := uint64(u)*0x9e3779b97f4a7c15 ^ uint64(v)*0xbf58476d1ce4e5b9
-	h ^= h >> 31
-	return int(h % uint64(nodes))
-}
-
-func popcount(x uint64) int {
-	c := 0
-	for x != 0 {
-		x &= x - 1
-		c++
-	}
-	return c
 }
 
 // perWorkerMax converts a per-machine ops max into a per-worker bound

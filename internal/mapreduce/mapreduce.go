@@ -19,6 +19,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/hdfs"
 	"repro/internal/obs"
+	"repro/internal/partition"
 )
 
 // Value is a record payload. Size reports its serialised byte
@@ -204,13 +205,28 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	if cfg.Mapper == nil || cfg.Reducer == nil {
 		return nil, nil, fmt.Errorf("mapreduce: job %q needs a mapper and a reducer", cfg.Name)
 	}
+	// A partitioning on the profile makes placement explicit: task
+	// counts default to the shard count, input splits follow vertex
+	// ownership, and the reducer for a key is the key's shard — so
+	// shuffle locality is exact rather than the (n-1)/n average.
+	part := e.Profile.Partitioning()
 	nMaps := cfg.NumMaps
 	if nMaps <= 0 {
 		nMaps = e.HW.Workers()
+		if part != nil {
+			nMaps = part.Shards
+		}
 	}
 	nReds := cfg.NumReduces
 	if nReds <= 0 {
 		nReds = e.HW.Workers()
+		if part != nil {
+			nReds = part.Shards
+		}
+	}
+	keyOwner := func(k int64) int { return int(uint64(k) % uint64(nReds)) }
+	if part != nil && nReds == part.Shards {
+		keyOwner = part.OwnerOf
 	}
 
 	sortBuffer := e.SortBufferBytes
@@ -243,9 +259,23 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	var firstErr error
 
 	// ---- Map phase -------------------------------------------------
-	// splitDataset returns only non-empty splits, so small inputs spawn
-	// fewer map tasks rather than phantom empty ones.
-	splits := splitDataset(input, nMaps)
+	// Only non-empty splits become tasks, so small inputs spawn fewer
+	// map tasks rather than phantom empty ones. Without a partitioning
+	// the input splits contiguously (classic Hadoop file splits); with
+	// one, each map task reads the records its shard owns, and
+	// splitShard remembers which shard (and therefore node) that is.
+	var splits []Dataset
+	var splitShard []int
+	if part != nil && nMaps == part.Shards {
+		for s, b := range partition.SplitByOwner(input, nMaps, func(kv KV) int { return part.OwnerOf(kv.Key) }) {
+			if len(b) > 0 {
+				splits = append(splits, b)
+				splitShard = append(splitShard, s)
+			}
+		}
+	} else {
+		splits = partition.SplitContiguous(input, nMaps)
+	}
 	nMapTasks := len(splits)
 	partitions := make([][][]KV, nMapTasks) // [map][reduce][]KV
 	var mapOps, maxMapOps int64
@@ -297,24 +327,9 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 			}
 			break
 		}
-		// Partition map output by key hash. Two passes over the records
-		// share one exactly-sized backing array instead of growing nReds
-		// slices by repeated append.
-		counts := make([]int, nReds)
-		for _, kv := range em.records {
-			counts[int(uint64(kv.Key)%uint64(nReds))]++
-		}
-		backing := make([]KV, 0, len(em.records))
-		parts := make([][]KV, nReds)
-		off := 0
-		for p := 0; p < nReds; p++ {
-			parts[p] = backing[off : off : off+counts[p]]
-			off += counts[p]
-		}
-		for _, kv := range em.records {
-			p := int(uint64(kv.Key) % uint64(nReds))
-			parts[p] = append(parts[p], kv)
-		}
+		// Partition map output by the key's owner (key hash without an
+		// explicit partitioning).
+		parts := partition.SplitByOwner(em.records, nReds, func(kv KV) int { return keyOwner(kv.Key) })
 		var combineOut int64
 		if cfg.Combiner != nil {
 			for p := range parts {
@@ -375,7 +390,26 @@ func (e *Engine) Run(cfg JobConfig, input Dataset, inputBytes int64) (Dataset, *
 	}
 	stats.ShuffleBytes = shuffleBytes
 	remote := shuffleBytes
-	if e.HW.Nodes > 1 {
+	if splitShard != nil {
+		// Owner-aligned splits: bundle (m, r) crosses the network only
+		// when map task m's shard and reducer r live on different
+		// machines (shards are hosted round-robin), so partition quality
+		// sets the shuffle's network bill exactly.
+		remote = 0
+		for m := 0; m < nMapTasks; m++ {
+			mNode := splitShard[m] % e.HW.Nodes
+			for r := 0; r < nReds; r++ {
+				if r%e.HW.Nodes == mNode {
+					continue
+				}
+				for _, kv := range partitions[m][r] {
+					remote += 10 + kv.Value.Size()
+				}
+			}
+		}
+	} else if e.HW.Nodes > 1 {
+		// Classic splits: reducers pull from everywhere; on average
+		// (n-1)/n of the bytes cross the network.
 		remote = shuffleBytes * int64(e.HW.Nodes-1) / int64(e.HW.Nodes)
 	}
 	perNodeShuffle := shuffleBytes / int64(e.HW.Nodes)
@@ -568,26 +602,6 @@ func scaleSkew(maxTask, total int64, tasks, workers int) int64 {
 		excess = 0
 	}
 	return meanWorker + excess
-}
-
-// splitDataset partitions records into at most n contiguous splits.
-// Only non-empty splits are returned: when len(d) < n the dataset
-// yields fewer map tasks, not trailing nil splits that would inflate
-// task accounting with phantom empty partitions.
-func splitDataset(d Dataset, n int) []Dataset {
-	if len(d) == 0 || n <= 0 {
-		return nil
-	}
-	per := (len(d) + n - 1) / n
-	splits := make([]Dataset, 0, n)
-	for lo := 0; lo < len(d); lo += per {
-		hi := lo + per
-		if hi > len(d) {
-			hi = len(d)
-		}
-		splits = append(splits, d[lo:hi])
-	}
-	return splits
 }
 
 // runGroupFold sorts records by key, groups, and applies the reducer —

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/hdfs"
+	"repro/internal/partition"
 )
 
 // intVal is a simple test value.
@@ -174,7 +175,7 @@ func TestEmptyInput(t *testing.T) {
 
 func TestSplitDataset(t *testing.T) {
 	d := makeInput(10)
-	splits := splitDataset(d, 3)
+	splits := partition.SplitContiguous(d, 3)
 	if len(splits) != 3 {
 		t.Fatalf("len = %d", len(splits))
 	}
@@ -186,7 +187,7 @@ func TestSplitDataset(t *testing.T) {
 		t.Fatalf("total = %d", total)
 	}
 	// More splits than records: empties allowed, nothing lost.
-	splits = splitDataset(makeInput(2), 5)
+	splits = partition.SplitContiguous(makeInput(2), 5)
 	total = 0
 	for _, s := range splits {
 		total += len(s)

@@ -1,0 +1,439 @@
+// Package partition is the sharded execution layer shared by every
+// distributed engine: a Partitioner interface with pluggable placement
+// strategies (hash, range, edge-cut, vertex-cut, 2D grid), the
+// Partitioning they produce — owner tables, per-shard member lists,
+// mirror/master replica sets over the shared CSR — and the quality
+// statistics (cut edges, replication factor, load skew) that the
+// partitioning-strategy study reports. The engines consume a
+// Partitioning through cluster.ExecutionProfile the same way they
+// consume observability sessions and fault injectors: a nil
+// partitioning selects each engine's historical default layout, so the
+// byte-identical determinism contract is preserved.
+//
+// Placement only decides *where* work runs and *what* crosses the
+// simulated network; it never changes algorithm results. Every
+// strategy is a pure function of (graph, shard count), with no
+// randomness beyond fixed mixing constants, so the same inputs always
+// produce the same placement — the property the equivalence and chaos
+// suites pin.
+package partition
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Strategy names. These are the CLI-visible identifiers
+// (`graphbench -partitioner <name>`).
+const (
+	// Hash assigns vertex v to shard v mod k — the layout the engines
+	// historically used, kept as the default-compatible strategy.
+	Hash = "hash"
+	// Range assigns contiguous vertex ranges balanced by adjacency
+	// volume (degree-weighted), preserving ID locality.
+	Range = "range"
+	// EdgeCut is a greedy LDG-style streaming edge-cut: each vertex
+	// joins the shard holding most of its already-placed neighbours,
+	// discounted by shard fullness.
+	EdgeCut = "edgecut"
+	// VertexCut hashes each edge to a shard and replicates its
+	// endpoints there (PowerGraph's random vertex-cut — the layout the
+	// gas engine has always modelled).
+	VertexCut = "vertexcut"
+	// Grid is a 2D (r×c) constrained vertex-cut: edge (u,v) is placed
+	// in the shard at (row(u), col(v)), bounding the replication factor
+	// by r+c-1.
+	Grid = "grid"
+)
+
+// Names lists the strategies in report order.
+func Names() []string { return []string{Hash, Range, EdgeCut, VertexCut, Grid} }
+
+// Partitioner splits a graph into shards.
+type Partitioner interface {
+	// Name is the strategy identifier.
+	Name() string
+	// Partition places g's vertices (and, for vertex-cut strategies,
+	// edges) onto the given number of shards.
+	Partition(g *graph.Graph, shards int) *Partitioning
+}
+
+// ByName resolves a strategy name to its partitioner.
+func ByName(name string) (Partitioner, error) {
+	switch name {
+	case Hash:
+		return hashPartitioner{}, nil
+	case Range:
+		return rangePartitioner{}, nil
+	case EdgeCut:
+		return edgeCutPartitioner{}, nil
+	case VertexCut:
+		return vertexCutPartitioner{}, nil
+	case Grid:
+		return gridPartitioner{}, nil
+	}
+	return nil, fmt.Errorf("partition: unknown strategy %q (have %v)", name, Names())
+}
+
+// Build partitions g with the named strategy.
+func Build(strategy string, g *graph.Graph, shards int) (*Partitioning, error) {
+	p, err := ByName(strategy)
+	if err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("partition: need at least one shard, got %d", shards)
+	}
+	return p.Partition(g, shards), nil
+}
+
+// maxMachines caps the replica bitsets: shard sets per vertex are
+// tracked for the first 64 shards, matching the gas engine's
+// historical bound (the paper's clusters stop at 50 nodes).
+const maxMachines = 64
+
+// Partitioning is the placement a strategy produced: the master shard
+// of every vertex, the per-shard member lists, and (for vertex-cut
+// strategies) the edge→shard function that implies the mirror sets.
+type Partitioning struct {
+	// Strategy is the producing strategy's name.
+	Strategy string
+	// Shards is the number of shards (workers).
+	Shards int
+	// Owner[v] is the master shard of vertex v.
+	Owner []int32
+	// Members[s] lists the vertices mastered by shard s, in increasing
+	// ID order.
+	Members [][]graph.VertexID
+
+	// edgeShard, non-nil for vertex-cut strategies, maps edge (u,v) to
+	// the shard that stores and computes it; both endpoints are
+	// replicated there.
+	edgeShard func(u, v graph.VertexID) int
+
+	// Lazily computed replica sets (guarded by mu; keyed by the vertex
+	// count they were computed for, so EVO-style regrown graphs force a
+	// recompute).
+	mu       sync.Mutex
+	replN    int
+	replicas []uint64
+	counts   []int32
+}
+
+// NumVertices returns the vertex count this partitioning was built
+// for.
+func (p *Partitioning) NumVertices() int { return len(p.Owner) }
+
+// IsVertexCut reports whether edges (not vertices) are the unit of
+// placement, implying mirror replicas on every shard holding one of a
+// vertex's edges.
+func (p *Partitioning) IsVertexCut() bool { return p.edgeShard != nil }
+
+// EdgeShard returns the shard that stores edge (u,v). For edge-cut
+// strategies the edge lives with its source's master.
+func (p *Partitioning) EdgeShard(u, v graph.VertexID) int {
+	if p.edgeShard != nil {
+		return p.edgeShard(u, v)
+	}
+	return int(p.Owner[u])
+}
+
+// OwnerOf maps an arbitrary record key to its shard: vertex keys use
+// the owner table, out-of-range keys (EVO's grown vertices,
+// aggregation keys) fall back to the hash rule. Negative keys are
+// well-defined via the same unsigned wrap the engines always used.
+func (p *Partitioning) OwnerOf(key int64) int {
+	if key >= 0 && key < int64(len(p.Owner)) {
+		return int(p.Owner[key])
+	}
+	return int(uint64(key) % uint64(p.Shards))
+}
+
+// KeyOwner returns OwnerOf as a plain function, for engines that store
+// a partitioning-agnostic key router.
+func (p *Partitioning) KeyOwner() func(key int64) int { return p.OwnerOf }
+
+// ResizeFor adapts the partitioning to a graph with n vertices: the
+// placement of existing vertices is kept and new vertices (EVO's
+// grown graphs) are hashed. The receiver is returned unchanged when
+// the size already matches.
+func (p *Partitioning) ResizeFor(n int) *Partitioning {
+	if n == len(p.Owner) {
+		return p
+	}
+	owner := make([]int32, n)
+	copy(owner, p.Owner)
+	for v := len(p.Owner); v < n; v++ {
+		owner[v] = int32(v % p.Shards)
+	}
+	if n < len(p.Owner) {
+		owner = owner[:n]
+	}
+	return &Partitioning{
+		Strategy: p.Strategy, Shards: p.Shards,
+		Owner: owner, Members: membersOf(owner, p.Shards),
+		edgeShard: p.edgeShard,
+	}
+}
+
+// membersOf builds the per-shard member lists (increasing vertex ID
+// within each shard) with one counting pass and one exactly-sized
+// backing array.
+func membersOf(owner []int32, shards int) [][]graph.VertexID {
+	counts := make([]int, shards)
+	for _, s := range owner {
+		counts[s]++
+	}
+	backing := make([]graph.VertexID, 0, len(owner))
+	members := make([][]graph.VertexID, shards)
+	off := 0
+	for s := 0; s < shards; s++ {
+		members[s] = backing[off : off : off+counts[s]]
+		off += counts[s]
+	}
+	for v, s := range owner {
+		members[s] = append(members[s], graph.VertexID(v))
+	}
+	return members
+}
+
+// newPartitioning assembles a Partitioning from an owner table.
+func newPartitioning(strategy string, shards int, owner []int32, edgeShard func(u, v graph.VertexID) int) *Partitioning {
+	return &Partitioning{
+		Strategy: strategy, Shards: shards,
+		Owner: owner, Members: membersOf(owner, shards),
+		edgeShard: edgeShard,
+	}
+}
+
+// machineBit maps a shard to its replica-bitset bit, collapsing shards
+// beyond the tracked bound.
+func machineBit(s int32) uint64 { return 1 << (uint(s) & (maxMachines - 1)) }
+
+// ReplicaSets returns, per vertex, the bitset of shards holding a copy
+// of it (master plus mirrors), over the first 64 shards. For
+// vertex-cut strategies a vertex lives wherever its edges landed; for
+// edge-cut strategies it lives with its master plus a ghost copy on
+// every shard mastering one of its neighbours (what a GAS gather or a
+// Pregel message exchange materialises remotely).
+func (p *Partitioning) ReplicaSets(g *graph.Graph) []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := g.NumVertices()
+	if p.replicas != nil && p.replN == n {
+		return p.replicas
+	}
+	seen := make([]uint64, n)
+	if p.edgeShard != nil {
+		for u := graph.VertexID(0); u < graph.VertexID(n); u++ {
+			for _, v := range g.Out(u) {
+				m := uint64(1) << uint(p.edgeShard(u, v))
+				seen[u] |= m
+				seen[v] |= m
+			}
+		}
+	} else {
+		for u := graph.VertexID(0); u < graph.VertexID(n); u++ {
+			ob := machineBit(p.ownerClamped(u))
+			seen[u] |= ob
+			for _, v := range g.Out(u) {
+				seen[u] |= machineBit(p.ownerClamped(v))
+				seen[v] |= ob
+			}
+		}
+	}
+	p.replicas, p.replN, p.counts = seen, n, nil
+	return seen
+}
+
+// ownerClamped tolerates graphs slightly larger than the owner table
+// (callers should ResizeFor; this keeps stats readable regardless).
+func (p *Partitioning) ownerClamped(v graph.VertexID) int32 {
+	if int(v) < len(p.Owner) {
+		return p.Owner[v]
+	}
+	return int32(int(v) % p.Shards)
+}
+
+// ReplicaCounts returns per-vertex replica counts (>= 1): 1 means the
+// vertex exists only on its master shard.
+func (p *Partitioning) ReplicaCounts(g *graph.Graph) []int32 {
+	sets := p.ReplicaSets(g)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.counts != nil && p.replN == g.NumVertices() {
+		return p.counts
+	}
+	counts := make([]int32, len(sets))
+	for i, bitsOf := range sets {
+		c := int32(bits.OnesCount64(bitsOf))
+		if c == 0 {
+			c = 1 // isolated vertex: master copy only
+		}
+		counts[i] = c
+	}
+	p.counts = counts
+	return counts
+}
+
+// Stats summarises placement quality.
+type Stats struct {
+	Strategy string
+	Shards   int
+	Vertices int
+	// Arcs is the number of stored adjacency entries (undirected edges
+	// appear twice, as the engines store them).
+	Arcs int64
+	// CutArcs counts adjacency entries whose endpoints have different
+	// masters — the traffic-generating fraction of the graph.
+	CutArcs int64
+	// CutFraction is CutArcs / Arcs (0 when the graph has no edges).
+	CutFraction float64
+	// ReplicationFactor is the mean number of copies per vertex
+	// (exactly 1 for a perfectly local edge-cut on one shard).
+	ReplicationFactor float64
+	// LoadSkew is the busiest shard's arc load over the mean (1 =
+	// perfectly balanced).
+	LoadSkew float64
+	// ShardVertices and ShardArcs are the per-shard totals; they sum to
+	// Vertices and Arcs respectively.
+	ShardVertices []int
+	ShardArcs     []int64
+}
+
+// ComputeStats measures the placement against g. The walk is O(V+E)
+// and performed on demand — engines never pay for it.
+func (p *Partitioning) ComputeStats(g *graph.Graph) Stats {
+	n := g.NumVertices()
+	st := Stats{
+		Strategy: p.Strategy, Shards: p.Shards,
+		Vertices: n, Arcs: g.AdjSize(),
+		ShardVertices: make([]int, p.Shards),
+		ShardArcs:     make([]int64, p.Shards),
+	}
+	for s, m := range p.Members {
+		st.ShardVertices[s] = len(m)
+	}
+	for u := graph.VertexID(0); u < graph.VertexID(n); u++ {
+		ou := p.ownerClamped(u)
+		for _, v := range g.Out(u) {
+			if p.ownerClamped(v) != ou {
+				st.CutArcs++
+			}
+			if p.edgeShard != nil {
+				st.ShardArcs[p.edgeShard(u, v)]++
+			} else {
+				st.ShardArcs[ou]++
+			}
+		}
+	}
+	if st.Arcs > 0 {
+		st.CutFraction = float64(st.CutArcs) / float64(st.Arcs)
+	}
+	counts := p.ReplicaCounts(g)
+	var replicaSum int64
+	for _, c := range counts {
+		replicaSum += int64(c)
+	}
+	st.ReplicationFactor = 1
+	if n > 0 {
+		st.ReplicationFactor = float64(replicaSum) / float64(n)
+	}
+	var maxLoad int64
+	for _, l := range st.ShardArcs {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	st.LoadSkew = 1
+	if st.Arcs > 0 {
+		st.LoadSkew = float64(maxLoad) * float64(p.Shards) / float64(st.Arcs)
+	}
+	return st
+}
+
+// Shard is one worker's view of the partitioned graph: its owned
+// vertex set and the local/remote split of its outgoing adjacency.
+type Shard struct {
+	ID int
+	// Owned lists the vertices this shard masters (increasing ID).
+	Owned []graph.VertexID
+	// LocalArcs and RemoteArcs split the owned vertices' out-adjacency
+	// by whether the destination is mastered here too: remote arcs are
+	// the ones whose messages pay network cost.
+	LocalArcs, RemoteArcs int64
+	// Mirrors counts vertices replicated onto this shard beyond the
+	// owned set (vertex-cut mirror tables; ghosts for edge-cut).
+	Mirrors int
+}
+
+// View materialises shard s's view over g.
+func (p *Partitioning) View(g *graph.Graph, s int) Shard {
+	sh := Shard{ID: s, Owned: p.Members[s]}
+	for _, u := range sh.Owned {
+		for _, v := range g.Out(u) {
+			if p.ownerClamped(v) == int32(s) {
+				sh.LocalArcs++
+			} else {
+				sh.RemoteArcs++
+			}
+		}
+	}
+	if s < maxMachines {
+		bit := uint64(1) << uint(s)
+		for v, set := range p.ReplicaSets(g) {
+			if set&bit != 0 && int(p.ownerClamped(graph.VertexID(v))) != s {
+				sh.Mirrors++
+			}
+		}
+	}
+	return sh
+}
+
+// ---- record splitting (shared by mapreduce and dataflow) -----------
+
+// SplitContiguous splits items into at most parts contiguous chunks of
+// near-equal record count — the range strategy over a record stream.
+// Only non-empty chunks are returned, so small inputs yield fewer
+// tasks rather than phantom empty ones.
+func SplitContiguous[S ~[]T, T any](items S, parts int) []S {
+	if len(items) == 0 || parts <= 0 {
+		return nil
+	}
+	per := (len(items) + parts - 1) / parts
+	splits := make([]S, 0, parts)
+	for lo := 0; lo < len(items); lo += per {
+		hi := lo + per
+		if hi > len(items) {
+			hi = len(items)
+		}
+		splits = append(splits, items[lo:hi])
+	}
+	return splits
+}
+
+// SplitByOwner buckets items by owner(item) into exactly shards
+// buckets (empty buckets included — bucket index is the shard ID). Two
+// passes share one exactly-sized backing array instead of growing
+// shards slices by repeated append.
+func SplitByOwner[S ~[]T, T any](items S, shards int, owner func(T) int) []S {
+	counts := make([]int, shards)
+	for _, it := range items {
+		counts[owner(it)]++
+	}
+	backing := make(S, 0, len(items))
+	parts := make([]S, shards)
+	off := 0
+	for s := 0; s < shards; s++ {
+		parts[s] = backing[off : off : off+counts[s]]
+		off += counts[s]
+	}
+	for _, it := range items {
+		s := owner(it)
+		parts[s] = append(parts[s], it)
+	}
+	return parts
+}

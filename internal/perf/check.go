@@ -86,6 +86,9 @@ func Check(paths []string) ([]CheckResult, error) {
 	for _, bm := range IngestSuite(BaselineSeed) {
 		suite[bm.Name] = bm
 	}
+	for _, bm := range PartitionSuite(BaselineScale, BaselineSeed) {
+		suite[bm.Name] = bm
+	}
 
 	var out []CheckResult
 	for _, path := range paths {

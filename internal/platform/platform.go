@@ -25,6 +25,7 @@ import (
 	"repro/internal/mralgo"
 	"repro/internal/obs"
 	"repro/internal/pactalgo"
+	"repro/internal/partition"
 	"repro/internal/pregelalgo"
 	"repro/internal/yarn"
 )
@@ -80,6 +81,15 @@ type Spec struct {
 	// recover injected faults; Neo4j is single-machine and out of the
 	// chaos model's scope.
 	Fault *fault.Injector
+	// Partitioner selects an explicit placement strategy (see
+	// internal/partition: "hash", "range", "edgecut", "vertexcut",
+	// "grid"). Empty with Shards == 0 keeps each engine's default
+	// layout; empty with Shards set defaults to "hash". Neo4j is
+	// single-machine and ignores placement.
+	Partitioner string
+	// Shards is the shard (worker) count for the explicit placement; 0
+	// defaults to HW.Nodes when Partitioner is set.
+	Shards int
 }
 
 // Status is the outcome class of a run.
@@ -262,6 +272,43 @@ func max64(a, b int64) int64 {
 	return b
 }
 
+// partitionFor builds the placement a spec requests, or nil for the
+// engines' default layouts.
+func partitionFor(spec Spec) (*partition.Partitioning, error) {
+	if spec.Partitioner == "" && spec.Shards <= 0 {
+		return nil, nil
+	}
+	strategy := spec.Partitioner
+	if strategy == "" {
+		strategy = partition.Hash
+	}
+	shards := spec.Shards
+	if shards <= 0 {
+		shards = spec.HW.Nodes
+	}
+	return partition.Build(strategy, spec.G, shards)
+}
+
+// recordPartition attaches the placement to the profile, accounts the
+// placement pass itself (a streaming assignment over vertices and
+// arcs, shipping each cut arc's record to its remote owner), and
+// reports the quality stats as gauges so monitor curves show them.
+func recordPartition(pt *partition.Partitioning, g *graph.Graph, profile *cluster.ExecutionProfile) {
+	profile.Part = pt
+	st := pt.ComputeStats(g)
+	profile.AddPhase(cluster.Phase{
+		Name: "partition:" + pt.Strategy, Kind: cluster.PhaseShuffle,
+		Ops:      int64(st.Vertices) + st.Arcs,
+		Net:      st.CutArcs * 16,
+		Barriers: 1, Tasks: pt.Shards,
+	})
+	reg := profile.Session().R()
+	reg.Gauge("partition.shards").Set(int64(pt.Shards))
+	reg.Gauge("partition.cut_arcs").Set(st.CutArcs)
+	reg.Gauge("partition.replication_x1000").Set(int64(st.ReplicationFactor * 1000))
+	reg.Gauge("partition.load_skew_x1000").Set(int64(st.LoadSkew * 1000))
+}
+
 // ---- Hadoop ---------------------------------------------------------
 
 type mrPlatform struct {
@@ -317,6 +364,15 @@ func (p *mrPlatform) Run(spec Spec) *Result {
 		return r
 	}
 	defer release()
+	pt, err := partitionFor(spec)
+	if err != nil {
+		r.Status = Crashed
+		r.Err = err
+		return r
+	}
+	if pt != nil {
+		recordPartition(pt, spec.G, eng.Profile)
+	}
 
 	var out any
 	switch spec.Algorithm {
@@ -376,9 +432,17 @@ func (p stratoPlatform) Run(spec Spec) *Result {
 	eng := dataflow.New(spec.HW)
 	eng.Profile.Obs = spec.Obs
 	eng.Profile.Fault = spec.Fault
+	pt, err := partitionFor(spec)
+	if err != nil {
+		r.Status = Crashed
+		r.Err = err
+		return r
+	}
+	if pt != nil {
+		recordPartition(pt, spec.G, eng.Profile)
+	}
 
 	var out any
-	var err error
 	switch spec.Algorithm {
 	case STATS:
 		out, err = callE(func() (any, error) { return pactalgo.Stats(eng, spec.G) })
@@ -437,9 +501,17 @@ func (p giraphPlatform) Run(spec Spec) *Result {
 		return r
 	}
 	sendLimit := int64(budget / (cm.MemPerMsgByte * float64(proj)))
+	pt, err := partitionFor(spec)
+	if err != nil {
+		r.Status = Crashed
+		r.Err = err
+		return r
+	}
+	if pt != nil {
+		recordPartition(pt, spec.G, r.Profile)
+	}
 
 	var out any
-	var err error
 	runPregel := func(f func(limit int64) error) error { return f(sendLimit) }
 	switch spec.Algorithm {
 	case STATS:
@@ -514,9 +586,17 @@ func (p graphlabPlatform) Run(spec Spec) *Result {
 	r := &Result{Profile: &cluster.ExecutionProfile{Obs: spec.Obs, Fault: spec.Fault}}
 	fillIDs(r, spec, p.Name())
 	inputBytes := graph.TextSize(spec.G)
+	pt, err := partitionFor(spec)
+	if err != nil {
+		r.Status = Crashed
+		r.Err = err
+		return r
+	}
+	if pt != nil {
+		recordPartition(pt, spec.G, r.Profile)
+	}
 
 	var out any
-	var err error
 	switch spec.Algorithm {
 	case STATS:
 		res, _, e := gasalgo.Stats(spec.G, spec.HW, inputBytes, p.mp, r.Profile)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/partition"
 )
 
 // Message is a value sent between vertices. Size reports serialised
@@ -189,6 +190,7 @@ type envelope struct {
 type worker struct {
 	e    *Engine
 	part int
+	node int // machine hosting this worker's shard
 	// outbox[p] collects messages for partition p this superstep. The
 	// slices are truncated, not freed, at each superstep boundary so
 	// their capacity is reused for the whole run.
@@ -254,7 +256,7 @@ func (w *worker) send(dst graph.VertexID, m Message) {
 			w.outbox[p][i].msg = merged
 			if delta := merged.Size() - old.Size(); delta != 0 {
 				w.sentBytes += delta
-				if p != w.part {
+				if int(w.e.nodeOfPart[p]) != w.node {
 					w.netBytes += delta
 				}
 			}
@@ -267,7 +269,7 @@ func (w *worker) send(dst graph.VertexID, m Message) {
 	size := m.Size() + w.e.cfg.MessageEnvelope
 	w.sentMsgs++
 	w.sentBytes += size
-	if p != w.part {
+	if int(w.e.nodeOfPart[p]) != w.node {
 		w.netBytes += size
 	}
 }
@@ -277,13 +279,20 @@ type Engine struct {
 	g         *graph.Graph
 	hw        cluster.Hardware
 	cfg       Config
+	part      *partition.Partitioning
 	values    []Value
 	superstep int
 	aggPrev   map[string]float64
+	// nodeOfPart[p] is the machine hosting shard p: workers are placed
+	// round-robin, so with shards == nodes it is the identity and the
+	// engine's historical byte stream is reproduced exactly. Network
+	// cost is charged only when a message crosses machines — two shards
+	// co-hosted on one node exchange messages through memory.
+	nodeOfPart []int32
 }
 
 func (e *Engine) partitionOf(v graph.VertexID) int {
-	return int(v) % e.hw.Nodes
+	return int(e.part.Owner[v])
 }
 
 // Run executes cfg over g on the simulated hardware, appending phases
@@ -315,12 +324,23 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		}
 	}
 
-	parts := e.hw.Nodes
-	// Partition member lists (vertices in ID order per partition).
-	members := make([][]graph.VertexID, parts)
-	for v := 0; v < n; v++ {
-		p := e.partitionOf(graph.VertexID(v))
-		members[p] = append(members[p], graph.VertexID(v))
+	// Placement: the profile may carry an explicit partitioning (any
+	// strategy, any shard count); without one, the engine's historical
+	// layout — one hash shard per machine — is reproduced exactly.
+	// Shards are assigned to machines round-robin, so the worker count
+	// can exceed (oversharding) or undershoot the node count.
+	part := profile.Partitioning()
+	if part == nil {
+		part = partition.HashPartitioning(n, hw.Nodes)
+	} else if part.NumVertices() != n {
+		part = part.ResizeFor(n) // EVO regrows the graph between runs
+	}
+	e.part = part
+	parts := part.Shards
+	members := part.Members
+	e.nodeOfPart = make([]int32, parts)
+	for p := 0; p < parts; p++ {
+		e.nodeOfPart[p] = int32(p % hw.Nodes)
 	}
 
 	// Long-lived per-run state: workers (with their outboxes and
@@ -328,7 +348,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 	// allocated once and reused every superstep.
 	workers := make([]*worker, parts)
 	for p := 0; p < parts; p++ {
-		w := &worker{e: e, part: p, outbox: make([][]envelope, parts)}
+		w := &worker{e: e, part: p, node: int(e.nodeOfPart[p]), outbox: make([][]envelope, parts)}
 		if cfg.Combiner != nil {
 			w.combSlot = make([]int32, n)
 			w.combSeen = make([]uint32, n)
@@ -339,6 +359,12 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 	inbox := make([][]Message, n)
 	partOps := make([]int64, parts)
 	inboxBytesPer := make([]int64, parts)
+	// Per-machine accumulators: memory limits (send buffers, inboxes)
+	// and straggler skew act at node granularity — co-hosted shards
+	// share their machine's memory and cores.
+	nodeSend := make([]int64, hw.Nodes)
+	nodeInbox := make([]int64, hw.Nodes)
+	nodeOps := make([]int64, hw.Nodes)
 	// pendingMsgs counts messages delivered at the last barrier, so the
 	// termination check is O(1) instead of rescanning every vertex.
 	var pendingMsgs int64
@@ -461,17 +487,21 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		agg := map[string]float64{}
 		var superMsgs, superBytes, superNet, maxSend int64
 		activeCount = 0
+		clear(nodeSend)
 		for p := 0; p < parts; p++ {
 			w := workers[p]
 			superMsgs += w.sentMsgs
 			superBytes += w.sentBytes
 			superNet += w.netBytes
 			activeCount += w.activeAfter
-			if w.rawBytes > maxSend {
-				maxSend = w.rawBytes
-			}
+			nodeSend[w.node] += w.rawBytes
 			for k, x := range w.pendingAg {
 				agg[k] += x
+			}
+		}
+		for _, b := range nodeSend {
+			if b > maxSend {
+				maxSend = b
 			}
 		}
 		pendingMsgs = superMsgs
@@ -539,25 +569,29 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		}
 
 		var maxInbox, totalOps, maxOps int64
+		clear(nodeInbox)
+		clear(nodeOps)
 		for p := 0; p < parts; p++ {
-			if inboxBytesPer[p] > maxInbox {
-				maxInbox = inboxBytesPer[p]
-			}
+			nd := e.nodeOfPart[p]
+			nodeInbox[nd] += inboxBytesPer[p]
 			totalOps += partOps[p]
-			if partOps[p] > maxOps {
-				maxOps = partOps[p]
-			}
-		}
-		if inj != nil {
-			// An injected straggler slows one worker's share of the
-			// superstep, stretching the barrier wait — skew, not wrong
-			// answers.
-			for p := 0; p < parts; p++ {
+			ops := partOps[p]
+			if inj != nil {
+				// An injected straggler slows one worker's share of the
+				// superstep, stretching the barrier wait — skew, not
+				// wrong answers.
 				if f, ok := inj.StragglerAt(fault.Site{Engine: "pregel", Op: "worker", Step: e.superstep, Task: p}); ok {
-					if slowed := int64(float64(partOps[p]) * f); slowed > maxOps {
-						maxOps = slowed
-					}
+					ops = int64(float64(ops) * f)
 				}
+			}
+			nodeOps[nd] += ops
+		}
+		for nd := 0; nd < hw.Nodes; nd++ {
+			if nodeInbox[nd] > maxInbox {
+				maxInbox = nodeInbox[nd]
+			}
+			if nodeOps[nd] > maxOps {
+				maxOps = nodeOps[nd]
 			}
 		}
 		if maxInbox > st.PeakInboxBytes {
@@ -585,7 +619,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		if profile != nil {
 			profile.AddPhase(cluster.Phase{
 				Name: fmt.Sprintf("superstep-%d", e.superstep), Kind: cluster.PhaseCompute,
-				Ops: totalOps, MaxPartOps: scaleToWorkers(maxOps, totalOps, parts, hw.Workers()),
+				Ops: totalOps, MaxPartOps: scaleToWorkers(maxOps, totalOps, hw.Nodes, hw.Workers()),
 				Net: superNet, Barriers: 1,
 			})
 			if ckEvery > 0 && (e.superstep+1)%ckEvery == 0 {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
+	"repro/internal/partition"
 )
 
 // DefaultMaxAllocation is the paper's maximum container request at the
@@ -43,6 +44,12 @@ type ResourceManager struct {
 	// and re-requested — and is handed down to each application's
 	// MapReduce engine for task-level injection.
 	Fault *fault.Injector
+
+	// Part, when non-nil, is the placement handed down to each
+	// application's MapReduce engine (YARN executes unmodified
+	// MapReduce jobs; placement is a job concern, not a scheduling
+	// one).
+	Part *partition.Partitioning
 
 	mu        sync.Mutex
 	nextAppID int
@@ -87,6 +94,7 @@ func (rm *ResourceManager) Submit(name string, amMemory int64) (*ApplicationMast
 	}
 	am.engine.Profile.Obs = rm.Obs
 	am.engine.Profile.Fault = rm.Fault
+	am.engine.Profile.Part = rm.Part
 	reg := rm.Obs.R()
 	// An injected AM death is recovered by the RM relaunching the AM in
 	// a fresh container; the job itself has not started yet, so the

@@ -2,18 +2,23 @@
 # Repo-wide verification: vet, build, full tests, and a race-detector
 # pass over the four engines' reused-buffer hot paths.
 #
-#   --chaos   additionally run one short seeded chaos smoke per engine
-#             (fault-injected run must match the fault-free run).
+#   --chaos      additionally run one short seeded chaos smoke per engine
+#                (fault-injected run must match the fault-free run).
+#   --partition  additionally run the partition matrix smoke: chaos under
+#                an explicit 4-shard placement for each strategy x engine
+#                pair, plus the quality table.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 run_chaos=0
+run_partition=0
 for arg in "$@"; do
     case "$arg" in
     --chaos) run_chaos=1 ;;
+    --partition) run_partition=1 ;;
     *)
-        echo "usage: $0 [--chaos]" >&2
+        echo "usage: $0 [--chaos] [--partition]" >&2
         exit 2
         ;;
     esac
@@ -53,10 +58,10 @@ go test -race -short \
     ./internal/graph/... \
     ./internal/obs/...
 
-echo "== fuzz seed smoke (graph text reader)"
+echo "== fuzz seed smoke (graph text reader + partitioners)"
 # Run every checked-in fuzz seed (plus any locally grown corpus)
 # through the fuzz targets once, without fuzzing for new inputs.
-go test -run 'Fuzz' ./internal/graph/
+go test -run 'Fuzz' ./internal/graph/ ./internal/partition/
 
 if [ "$run_chaos" = 1 ]; then
     echo "== chaos smoke (one seeded fault plan per engine)"
@@ -65,6 +70,20 @@ if [ "$run_chaos" = 1 ]; then
         go run ./cmd/graphbench -scale 40 -nodes 4 -fault-seed 1 \
             chaos "$engine" BFS KGS
     done
+fi
+
+if [ "$run_partition" = 1 ]; then
+    echo "== partition matrix smoke (strategy x engine, 4 shards, faults on)"
+    for strategy in hash edgecut vertexcut; do
+        for engine in pregel gas; do
+            echo "-- partition $strategy/$engine"
+            go run ./cmd/graphbench -scale 40 -nodes 4 -fault-seed 1 \
+                -partitioner "$strategy" -shards 4 \
+                chaos "$engine" BFS KGS
+        done
+    done
+    echo "-- partition quality table"
+    go run ./cmd/graphbench -scale 40 -shards 8 partition-quality KGS
 fi
 
 echo "ok"
