@@ -231,10 +231,22 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Printf("wrote %s (%s)\n\n%s", out, phase, bl.Summary())
+	case "bench-gap":
+		need(args, 2)
+		phase := args[1]
+		out := "BENCH_pr7.json"
+		if len(args) > 2 {
+			out = args[2]
+		}
+		bl, err := perf.WriteGapBaseline(out, phase)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s (%s)\n\n%s", out, phase, bl.Summary())
 	case "bench-check":
 		files := args[1:]
 		if len(files) == 0 {
-			files = []string{"BENCH_pr2.json", "BENCH_pr3.json", "BENCH_pr6.json"}
+			files = []string{"BENCH_pr2.json", "BENCH_pr3.json", "BENCH_pr6.json", "BENCH_pr7.json"}
 		}
 		results, err := perf.Check(files)
 		if err != nil {
@@ -380,6 +392,7 @@ func usage() {
   graphbench bench-baseline <before|after> [file]
   graphbench bench-ingest <before|after> [file]
   graphbench bench-partition <before|after> [file]
+  graphbench bench-gap <before|after> [file]
   graphbench bench-check [baseline.json ...]
   graphbench [flags] all
 

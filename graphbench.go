@@ -70,13 +70,15 @@ const (
 	NotSupported = platform.NotSupported
 )
 
-// Algorithm names (Section 2.2.2).
+// Algorithm names (Section 2.2.2), plus the weighted shortest-path
+// extension.
 const (
 	STATS = platform.STATS
 	BFS   = platform.BFS
 	CONN  = platform.CONN
 	CD    = platform.CD
 	EVO   = platform.EVO
+	SSSP  = platform.SSSP
 )
 
 // DAS4 returns the paper's cluster configuration.
@@ -95,7 +97,7 @@ func PlatformByName(name string) (Platform, error) { return platform.ByName(name
 // Datasets returns the seven dataset names of Table 2.
 func Datasets() []string { return datagen.Names() }
 
-// Algorithms returns the five algorithm names.
+// Algorithms returns the algorithm names (the paper's five plus SSSP).
 func Algorithms() []string { return platform.Algorithms() }
 
 // Config configures a Suite.

@@ -20,8 +20,8 @@ func TestRegistry(t *testing.T) {
 	if got := len(Datasets()); got != 7 {
 		t.Fatalf("Datasets = %d, want 7 (Table 2)", got)
 	}
-	if got := len(Algorithms()); got != 5 {
-		t.Fatalf("Algorithms = %d, want 5 (Section 2.2.2)", got)
+	if got := len(Algorithms()); got != 6 {
+		t.Fatalf("Algorithms = %d, want 6 (Section 2.2.2 + SSSP)", got)
 	}
 	if _, err := PlatformByName("GraphLab(mp)"); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,293 @@
+package algo
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// gapGraph builds a deterministic random graph with a dense core (so
+// direction-optimizing BFS actually exercises the bottom-up regime)
+// and a sparse tail.
+func gapGraph(t testing.TB, n, e int, directed bool, seed int64) *graph.Graph {
+	t.Helper()
+	rng := NewRand(seed)
+	b := graph.NewBuilder(n, directed)
+	core := n / 4
+	if core < 2 {
+		core = 2
+	}
+	for i := 0; i < e; i++ {
+		var u, v int
+		if i%2 == 0 { // half the edges land in the dense core
+			u, v = rng.Intn(core), rng.Intn(core)
+		} else {
+			u, v = rng.Intn(n), rng.Intn(n)
+		}
+		if u != v {
+			b.AddEdge(graph.VertexID(u), graph.VertexID(v))
+		}
+	}
+	return b.Build()
+}
+
+func levelsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBFSDirOptMatchesRef(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		for seed := int64(0); seed < 4; seed++ {
+			g := gapGraph(t, 800, 6000, directed, seed)
+			src := PickSource(g, seed)
+			want := RefBFS(g, src)
+			for _, alpha := range []int{0, 1, 1 << 20} { // default, always-BU, always-TD
+				got := BFSDirOpt(g, src, GapOptions{Alpha: alpha})
+				if !levelsEqual(got.Levels, want.Levels) {
+					t.Fatalf("directed=%v seed=%d alpha=%d: levels differ from reference", directed, seed, alpha)
+				}
+				if got.Visited != want.Visited || got.Iterations != want.Iterations {
+					t.Fatalf("directed=%v seed=%d alpha=%d: got (%d,%d), want (%d,%d)",
+						directed, seed, alpha, got.Visited, got.Iterations, want.Visited, want.Iterations)
+				}
+				if err := ValidateBFSTree(g, src, got); err != nil {
+					t.Fatalf("directed=%v seed=%d alpha=%d: tree certificate: %v", directed, seed, alpha, err)
+				}
+			}
+		}
+	}
+}
+
+// TestBFSDirOptWorkerDeterminism pins the cross-worker-count
+// determinism contract: byte-identical distances (and parents) at
+// workers 1, 2, 4, and 8.
+func TestBFSDirOptWorkerDeterminism(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := gapGraph(t, 3000, 24000, directed, 7)
+		src := PickSource(g, 7)
+		base := BFSDirOpt(g, src, GapOptions{Workers: 1})
+		if err := ValidateBFSTree(g, src, base); err != nil {
+			t.Fatalf("directed=%v: base tree invalid: %v", directed, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got := BFSDirOpt(g, src, GapOptions{Workers: workers})
+			if !levelsEqual(got.Levels, base.Levels) {
+				t.Fatalf("directed=%v workers=%d: distances differ from workers=1", directed, workers)
+			}
+			for v := range got.Parents {
+				if got.Parents[v] != base.Parents[v] {
+					t.Fatalf("directed=%v workers=%d: parent of %d differs (%d vs %d)",
+						directed, workers, v, got.Parents[v], base.Parents[v])
+				}
+			}
+			if got.Visited != base.Visited || got.Iterations != base.Iterations {
+				t.Fatalf("directed=%v workers=%d: counters differ", directed, workers)
+			}
+		}
+	}
+}
+
+// TestBFSDirOptShardViews runs the kernel parallel over partitioned
+// shard views and pins the results to the unpartitioned run.
+func TestBFSDirOptShardViews(t *testing.T) {
+	g := gapGraph(t, 2000, 16000, false, 3)
+	src := PickSource(g, 3)
+	base := BFSDirOpt(g, src, GapOptions{})
+	for _, strategy := range []string{partition.Hash, partition.EdgeCut} {
+		for _, shards := range []int{1, 4} {
+			part, err := partition.Build(strategy, g, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := BFSDirOpt(g, src, GapOptions{Part: part})
+			if !levelsEqual(got.Levels, base.Levels) {
+				t.Fatalf("%s/%d: distances differ from unpartitioned run", strategy, shards)
+			}
+			if err := ValidateBFSTree(g, src, got); err != nil {
+				t.Fatalf("%s/%d: tree certificate: %v", strategy, shards, err)
+			}
+		}
+	}
+}
+
+func TestSSSPDeltaStepMatchesDijkstra(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		for seed := int64(0); seed < 3; seed++ {
+			g := graph.WithWeights(gapGraph(t, 600, 4500, directed, seed+20), uint64(seed+1))
+			src := PickSource(g, seed)
+			want := RefSSSP(g, src)
+			if err := ValidateSSSP(g, src, &want); err != nil {
+				t.Fatalf("reference SSSP fails its own certificate: %v", err)
+			}
+			for _, delta := range []int64{0, 1, 1024} { // default, Dijkstra-ish, near-Bellman-Ford
+				got := SSSPDeltaStep(g, src, GapOptions{Delta: delta})
+				for v := range got.Dist {
+					if got.Dist[v] != want.Dist[v] {
+						t.Fatalf("directed=%v seed=%d delta=%d: dist[%d]=%d, want %d",
+							directed, seed, delta, v, got.Dist[v], want.Dist[v])
+					}
+				}
+				if got.Visited != want.Visited {
+					t.Fatalf("directed=%v seed=%d delta=%d: Visited %d, want %d",
+						directed, seed, delta, got.Visited, want.Visited)
+				}
+				if err := ValidateSSSP(g, src, got); err != nil {
+					t.Fatalf("directed=%v seed=%d delta=%d: certificate: %v", directed, seed, delta, err)
+				}
+			}
+		}
+	}
+}
+
+func TestSSSPDeltaStepWorkerDeterminism(t *testing.T) {
+	g := graph.WithWeights(gapGraph(t, 2500, 20000, true, 5), 9)
+	src := PickSource(g, 5)
+	base := SSSPDeltaStep(g, src, GapOptions{Workers: 1})
+	for _, workers := range []int{2, 4, 8} {
+		got := SSSPDeltaStep(g, src, GapOptions{Workers: workers})
+		for v := range got.Dist {
+			if got.Dist[v] != base.Dist[v] {
+				t.Fatalf("workers=%d: dist[%d] differs", workers, v)
+			}
+		}
+		if got.Iterations != base.Iterations || got.Visited != base.Visited {
+			t.Fatalf("workers=%d: counters differ (%d,%d) vs (%d,%d)",
+				workers, got.Visited, got.Iterations, base.Visited, base.Iterations)
+		}
+	}
+}
+
+func TestPageRankPullDeterministicAndStochastic(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := gapGraph(t, 1500, 9000, directed, 13)
+		want := RefPageRank(g, 20, 0.85)
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := PageRankPull(g, 20, 0.85, GapOptions{Workers: workers})
+			for v := range got.Ranks {
+				if got.Ranks[v] != want.Ranks[v] {
+					t.Fatalf("directed=%v workers=%d: rank[%d] = %v, want exactly %v",
+						directed, workers, v, got.Ranks[v], want.Ranks[v])
+				}
+			}
+		}
+		// Ranks form a distribution.
+		sum := 0.0
+		for _, r := range want.Ranks {
+			if r <= 0 {
+				t.Fatalf("non-positive rank %v", r)
+			}
+			sum += r
+		}
+		if sum < 0.999999 || sum > 1.000001 {
+			t.Fatalf("ranks sum to %v, want 1", sum)
+		}
+	}
+}
+
+func TestValidateBFSTreeRejectsCorruption(t *testing.T) {
+	g := gapGraph(t, 200, 800, false, 2)
+	src := PickSource(g, 2)
+	base := BFSDirOpt(g, src, GapOptions{})
+
+	corrupt := func(mutate func(c *BFSTree)) error {
+		c := &BFSTree{
+			BFSResult: BFSResult{
+				Levels:     append([]int32(nil), base.Levels...),
+				Visited:    base.Visited,
+				Iterations: base.Iterations,
+			},
+			Parents: append([]graph.VertexID(nil), base.Parents...),
+		}
+		mutate(c)
+		return ValidateBFSTree(g, src, c)
+	}
+
+	if err := corrupt(func(c *BFSTree) {}); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	if err := corrupt(func(c *BFSTree) { c.Levels[src] = 1 }); err == nil {
+		t.Fatal("bad source level accepted")
+	}
+	if err := corrupt(func(c *BFSTree) { c.Parents[src] = -1 }); err == nil {
+		t.Fatal("bad source parent accepted")
+	}
+	if err := corrupt(func(c *BFSTree) {
+		for v := range c.Levels {
+			if graph.VertexID(v) != src && c.Levels[v] == 1 {
+				c.Parents[v] = graph.VertexID(v) // self-parent, no arc
+				return
+			}
+		}
+	}); err == nil {
+		t.Fatal("phantom parent arc accepted")
+	}
+	if err := corrupt(func(c *BFSTree) { c.Visited++ }); err == nil {
+		t.Fatal("wrong Visited accepted")
+	}
+}
+
+func TestValidateSSSPRejectsCorruption(t *testing.T) {
+	g := graph.WithWeights(gapGraph(t, 200, 800, false, 4), 6)
+	src := PickSource(g, 4)
+	base := SSSPDeltaStep(g, src, GapOptions{})
+
+	corrupt := func(mutate func(d []int64) (visited int)) error {
+		d := append([]int64(nil), base.Dist...)
+		visited := mutate(d)
+		if visited == 0 {
+			visited = base.Visited
+		}
+		return ValidateSSSP(g, src, &SSSPResult{Dist: d, Visited: visited})
+	}
+
+	if err := corrupt(func(d []int64) int { return 0 }); err != nil {
+		t.Fatalf("valid distances rejected: %v", err)
+	}
+	if err := corrupt(func(d []int64) int { d[src] = 5; return 0 }); err == nil {
+		t.Fatal("bad source distance accepted")
+	}
+	if err := corrupt(func(d []int64) int {
+		for v := range d {
+			if graph.VertexID(v) != src && d[v] > 0 {
+				d[v]++ // not tight any more
+				return 0
+			}
+		}
+		return 0
+	}); err == nil {
+		t.Fatal("slack distance accepted")
+	}
+	if err := corrupt(func(d []int64) int {
+		for v := range d {
+			if graph.VertexID(v) != src && d[v] > 0 {
+				d[v] = 0 // too small: relaxation violated elsewhere or no tight in-arc
+				return 0
+			}
+		}
+		return 0
+	}); err == nil {
+		t.Fatal("too-small distance accepted")
+	}
+}
+
+func TestWeightedVertexRecSize(t *testing.T) {
+	r := &VertexRec{Out: []graph.VertexID{1, 2}, In: []graph.VertexID{3}}
+	plain := r.Size()
+	r.WOut = []uint32{4, 9}
+	if got, want := r.Size(), plain+2*4+12; got != want {
+		t.Fatalf("weighted Size = %d, want %d", got, want)
+	}
+	c := r.Clone()
+	if len(c.WOut) != 2 || c.WOut[0] != 4 {
+		t.Fatal("Clone dropped weights")
+	}
+}

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"container/heap"
 	"fmt"
 
 	"repro/internal/graph"
@@ -206,6 +207,273 @@ func (o *Overlay) Result() EVOResult {
 		FinalE:      o.base.NumEdges() + int64(len(edges)),
 		Edges:       edges,
 	}
+}
+
+// distHeap is the Dijkstra priority queue (distance, ties by vertex).
+type distHeap struct {
+	v []graph.VertexID
+	d []int64
+}
+
+func (h *distHeap) Len() int { return len(h.v) }
+func (h *distHeap) Less(i, j int) bool {
+	if h.d[i] != h.d[j] {
+		return h.d[i] < h.d[j]
+	}
+	return h.v[i] < h.v[j]
+}
+func (h *distHeap) Swap(i, j int) {
+	h.v[i], h.v[j] = h.v[j], h.v[i]
+	h.d[i], h.d[j] = h.d[j], h.d[i]
+}
+func (h *distHeap) Push(x any) {
+	p := x.([2]int64)
+	h.v = append(h.v, graph.VertexID(p[0]))
+	h.d = append(h.d, p[1])
+}
+func (h *distHeap) Pop() any {
+	n := len(h.v) - 1
+	p := [2]int64{int64(h.v[n]), h.d[n]}
+	h.v, h.d = h.v[:n], h.d[:n]
+	return p
+}
+
+// RefSSSP runs the reference single-source shortest paths: a plain
+// sequential Dijkstra over the weighted out-adjacency. Distances are
+// exact, so every platform's SSSP must match it byte for byte.
+// Iterations reports the synchronous relaxation rounds a
+// Bellman-Ford-style platform needs: the maximum number of edges on
+// any shortest path, plus the quiescence-detection round.
+func RefSSSP(g *graph.Graph, src graph.VertexID) SSSPResult {
+	if !g.Weighted() {
+		panic("algo: RefSSSP on unweighted graph (use graph.WithWeights)")
+	}
+	n := g.NumVertices()
+	r := SSSPResult{Dist: make([]int64, n)}
+	hops := make([]int32, n)
+	for i := range r.Dist {
+		r.Dist[i] = -1
+	}
+	if n == 0 {
+		return r
+	}
+	r.Dist[src] = 0
+	h := &distHeap{}
+	heap.Push(h, [2]int64{int64(src), 0})
+	maxHops := int32(0)
+	counted := make([]bool, n)
+	for h.Len() > 0 {
+		p := heap.Pop(h).([2]int64)
+		u, du := graph.VertexID(p[0]), p[1]
+		if r.Dist[u] != du {
+			continue // stale entry
+		}
+		// A vertex can be re-expanded when a hop-shorter path of equal
+		// weight is found; count it once.
+		if !counted[u] {
+			counted[u] = true
+			r.Visited++
+		}
+		if hops[u] > maxHops {
+			maxHops = hops[u]
+		}
+		out, ws := g.Out(u), g.OutWeights(u)
+		for i, v := range out {
+			cand := du + int64(ws[i])
+			if r.Dist[v] == -1 || cand < r.Dist[v] {
+				r.Dist[v] = cand
+				hops[v] = hops[u] + 1
+				heap.Push(h, [2]int64{int64(v), cand})
+			} else if cand == r.Dist[v] && hops[u]+1 < hops[v] {
+				// Same distance over fewer hops: synchronous engines
+				// settle it in the earlier round.
+				hops[v] = hops[u] + 1
+				heap.Push(h, [2]int64{int64(v), cand})
+			}
+		}
+	}
+	r.Iterations = int(maxHops) + 1
+	return r
+}
+
+// RefPageRank runs sequential pull-mode PageRank with exactly the
+// accumulation order PageRankPull fixes (per-vertex in-order gather,
+// fixed-chunk dangling reduction), so the parallel kernel must match
+// it bit for bit at any worker count.
+func RefPageRank(g *graph.Graph, iterations int, damping float64) PageRankResult {
+	if iterations <= 0 {
+		iterations = 20
+	}
+	if damping <= 0 {
+		damping = 0.85
+	}
+	n := g.NumVertices()
+	r := PageRankResult{Ranks: make([]float64, n), Iterations: iterations}
+	if n == 0 {
+		return r
+	}
+	ranks := r.Ranks
+	for i := range ranks {
+		ranks[i] = 1 / float64(n)
+	}
+	contrib := make([]float64, n)
+	newRanks := make([]float64, n)
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iterations; it++ {
+		var dangling float64
+		for lo := 0; lo < n; lo += prDanglingChunk {
+			hi := min(lo+prDanglingChunk, n)
+			var part float64
+			for vi := lo; vi < hi; vi++ {
+				if d := g.OutDegree(graph.VertexID(vi)); d > 0 {
+					contrib[vi] = ranks[vi] / float64(d)
+				} else {
+					contrib[vi] = 0
+					part += ranks[vi]
+				}
+			}
+			dangling += part
+		}
+		share := base + damping*dangling/float64(n)
+		for vi := 0; vi < n; vi++ {
+			sum := 0.0
+			for _, u := range g.In(graph.VertexID(vi)) {
+				sum += contrib[u]
+			}
+			newRanks[vi] = share + damping*sum
+		}
+		ranks, newRanks = newRanks, ranks
+	}
+	copy(r.Ranks, ranks)
+	return r
+}
+
+// ValidateBFSTree checks a parent-array BFS certificate in O(V + E)
+// without re-running any traversal — the check the kernel tests use
+// instead of recomputing a reference BFS per call site. The rules: the
+// source is its own parent at level 0; every other reached vertex's
+// parent is reached one level above it across a real arc; unreached
+// vertices have no parent; and no arc skips a level.
+func ValidateBFSTree(g *graph.Graph, src graph.VertexID, t *BFSTree) error {
+	n := g.NumVertices()
+	if len(t.Levels) != n || len(t.Parents) != n {
+		return fmt.Errorf("levels/parents lengths %d/%d != V %d", len(t.Levels), len(t.Parents), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if t.Levels[src] != 0 || t.Parents[src] != src {
+		return fmt.Errorf("source: level %d parent %d, want 0 and self", t.Levels[src], t.Parents[src])
+	}
+	visited := 0
+	maxLevel := int32(0)
+	for vi, lv := range t.Levels {
+		v := graph.VertexID(vi)
+		p := t.Parents[vi]
+		if lv < 0 {
+			if p != -1 {
+				return fmt.Errorf("unreached vertex %d has parent %d", v, p)
+			}
+			continue
+		}
+		visited++
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+		if v == src {
+			continue
+		}
+		if lv == 0 {
+			return fmt.Errorf("vertex %d has level 0 but is not the source", v)
+		}
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("vertex %d has parent %d out of range", v, p)
+		}
+		if t.Levels[p] != lv-1 {
+			return fmt.Errorf("vertex %d at level %d has parent %d at level %d", v, lv, p, t.Levels[p])
+		}
+		if !g.HasEdge(p, v) {
+			return fmt.Errorf("parent arc (%d,%d) does not exist", p, v)
+		}
+	}
+	// No arc may skip a level — one pass over the edges, no traversal.
+	var bad error
+	g.Edges(func(e graph.Edge) {
+		if bad != nil {
+			return
+		}
+		lu, lv := t.Levels[e.Src], t.Levels[e.Dst]
+		if lu >= 0 && (lv < 0 || lv > lu+1) {
+			bad = fmt.Errorf("edge (%d,%d) spans levels %d -> %d", e.Src, e.Dst, lu, lv)
+		}
+		if !g.Directed() && lv >= 0 && (lu < 0 || lu > lv+1) {
+			bad = fmt.Errorf("edge (%d,%d) spans levels %d -> %d", e.Src, e.Dst, lv, lu)
+		}
+	})
+	if bad != nil {
+		return bad
+	}
+	if visited != t.Visited {
+		return fmt.Errorf("Visited = %d, levels say %d", t.Visited, visited)
+	}
+	if int(maxLevel) != t.Iterations {
+		return fmt.Errorf("Iterations = %d, levels say %d", t.Iterations, maxLevel)
+	}
+	return nil
+}
+
+// ValidateSSSP checks shortest-path distances in O(V + E) by the
+// triangle-inequality certificate: the source is at 0, no arc can
+// relax any distance further, and every reached non-source vertex has
+// a tight incoming arc (so its distance is actually achieved).
+func ValidateSSSP(g *graph.Graph, src graph.VertexID, r *SSSPResult) error {
+	n := g.NumVertices()
+	if len(r.Dist) != n {
+		return fmt.Errorf("dist length %d != V %d", len(r.Dist), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if r.Dist[src] != 0 {
+		return fmt.Errorf("source distance = %d, want 0", r.Dist[src])
+	}
+	visited := 0
+	for vi, d := range r.Dist {
+		v := graph.VertexID(vi)
+		if d < 0 {
+			continue
+		}
+		visited++
+		if v == src {
+			continue
+		}
+		tight := false
+		ins, ws := g.In(v), g.InWeights(v)
+		for i, u := range ins {
+			if r.Dist[u] >= 0 && r.Dist[u]+int64(ws[i]) == d {
+				tight = true
+				break
+			}
+		}
+		if !tight {
+			return fmt.Errorf("vertex %d at distance %d has no tight in-arc", v, d)
+		}
+	}
+	for u := graph.VertexID(0); u < graph.VertexID(n); u++ {
+		if r.Dist[u] < 0 {
+			continue
+		}
+		out, ws := g.Out(u), g.OutWeights(u)
+		for i, v := range out {
+			if r.Dist[v] < 0 || r.Dist[v] > r.Dist[u]+int64(ws[i]) {
+				return fmt.Errorf("arc (%d,%d) relaxes %d beyond %d", u, v, r.Dist[v], r.Dist[u]+int64(ws[i]))
+			}
+		}
+	}
+	if visited != r.Visited {
+		return fmt.Errorf("Visited = %d, dists say %d", r.Visited, visited)
+	}
+	return nil
 }
 
 // ValidateBFS checks a BFS result against the Graph500-style

@@ -14,14 +14,26 @@ type VertexRec struct {
 	Out []graph.VertexID
 	In  []graph.VertexID // nil for undirected graphs
 
+	// WOut carries the out-arc weights aligned with Out; nil for
+	// unweighted algorithms, so their record sizes (and therefore every
+	// pre-weights shuffle/disk account) are unchanged.
+	WOut []uint32
+
 	Dist  int32          // BFS level, -1 when unreached
 	Label graph.VertexID // CONN / CD label
 	Score float64        // CD score
+
+	DistW  int64 // SSSP distance, -1 when unreached
+	WRound int32 // SSSP round the distance was last improved in
 }
 
 // Size implements the engine Value interfaces.
 func (r *VertexRec) Size() int64 {
-	return int64(len(r.Out))*5 + int64(len(r.In))*5 + 16
+	s := int64(len(r.Out))*5 + int64(len(r.In))*5 + 16
+	if r.WOut != nil {
+		s += int64(len(r.WOut))*4 + 12
+	}
+	return s
 }
 
 // Clone returns a copy with fresh state fields but shared adjacency
@@ -48,6 +60,12 @@ type DistMsg int32
 
 // Size implements the engine Value interfaces.
 func (DistMsg) Size() int64 { return 5 }
+
+// WDistMsg is a weighted (SSSP) distance candidate.
+type WDistMsg int64
+
+// Size implements the engine Value interfaces.
+func (WDistMsg) Size() int64 { return 9 }
 
 // LabelMsg is a CONN label or CD vote.
 type LabelMsg struct {

@@ -157,7 +157,7 @@ func TestFigure4IncludesCitationConn(t *testing.T) {
 	if last[0] != "CONN(Citation)" {
 		t.Fatalf("last row = %v", last)
 	}
-	if len(tb.Rows) != 6 { // 5 algorithms + CONN(Citation)
+	if len(tb.Rows) != 7 { // 5 algorithms + SSSP + CONN(Citation)
 		t.Fatalf("Figure4 rows = %d", len(tb.Rows))
 	}
 }

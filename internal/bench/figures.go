@@ -73,7 +73,7 @@ func (h *Harness) Figure2() (eps, vps Table) {
 func (h *Harness) Figure3() Table {
 	t := Table{
 		Title:  "Figure 3: Giraph, all algorithms x all datasets (+ GraphLab CONN)",
-		Header: append([]string{"Dataset"}, "STATS", "BFS", "CONN", "CD", "EVO", "CONN(GraphLab)"),
+		Header: append([]string{"Dataset"}, "STATS", "BFS", "CONN", "CD", "EVO", "SSSP", "CONN(GraphLab)"),
 	}
 	hw := BaseHW()
 	for _, ds := range datagen.Names() {

@@ -199,3 +199,28 @@ func TestEVOWritesRelationships(t *testing.T) {
 		t.Fatalf("EVO disk accounting %d below relationship writes", disk)
 	}
 }
+
+func TestSSSPMatchesReference(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		wg := graph.WithWeights(g, 99)
+		src := algo.PickSource(wg, 42)
+		want := algo.RefSSSP(wg, src)
+		got, err := SSSP(open(wg), src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Dist, want.Dist) {
+			t.Fatalf("%v: SSSP distances differ", wg)
+		}
+		if err := algo.ValidateSSSP(wg, src, &got); err != nil {
+			t.Fatalf("%v: %v", wg, err)
+		}
+	}
+}
+
+func TestSSSPRequiresWeights(t *testing.T) {
+	g := testGraphs(t)[0]
+	if _, err := SSSP(open(g), 0, nil); err == nil {
+		t.Fatal("SSSP accepted an unweighted graph")
+	}
+}

@@ -113,11 +113,16 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 			values[v] = cfg.InitialValue(graph.VertexID(v))
 		}
 	}
-	active := make([]bool, n)
+	// Active sets are 64-bit bitsets: the hot loop word-skips over
+	// inactive regions instead of testing one bool per vertex, which is
+	// what makes sparse-frontier iterations (BFS tails, SSSP buckets)
+	// cheap. Iteration order over set bits is ascending, exactly the
+	// order the historical []bool loop used, so results are unchanged.
+	active := graph.NewBitset(n)
 	var activeCount int
-	for v := range active {
-		active[v] = cfg.InitiallyActive == nil || cfg.InitiallyActive(graph.VertexID(v))
-		if active[v] {
+	for v := 0; v < n; v++ {
+		if cfg.InitiallyActive == nil || cfg.InitiallyActive(graph.VertexID(v)) {
+			active.Set(graph.VertexID(v))
 			activeCount++
 		}
 	}
@@ -207,7 +212,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 	// iteration: the next active set, the new value array, the global
 	// per-machine op counters, and per-worker scratch (op counters,
 	// signalled list, bothNeighbors buffer).
-	nextActive := make([]bool, n)
+	nextActive := graph.NewBitset(n)
 	newValues := make([]Value, n)
 	partOps := make([]int64, shards)
 	nodeOps := make([]int64, hw.Nodes)
@@ -233,7 +238,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 			if attempt > 0 {
 				// Discard the failed attempt's double-buffered state and
 				// rerun the iteration from the committed values.
-				clear(nextActive)
+				nextActive.Zero()
 			}
 			copy(newValues, values)
 			clear(partOps)
@@ -248,11 +253,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 				localPartOps := sc.partOps
 				clear(localPartOps)
 				signalled := sc.signalled[:0]
-				for vi := lo; vi < hi; vi++ {
-					if !active[vi] {
-						continue
-					}
-					v := graph.VertexID(vi)
+				active.Range(lo, hi, func(v graph.VertexID) {
 					vo := owner[v]
 					// Gather over in-edges (plus out-edges under GatherBoth
 					// on directed graphs).
@@ -319,7 +320,7 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 					}
 					localPartOps[vo] += lops
 					lops = 0
-				}
+				})
 				sc.signalled = signalled
 				mu.Lock()
 				gatherEdges += lg
@@ -330,8 +331,8 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 					partOps[i] += o
 				}
 				for _, dst := range signalled {
-					if !nextActive[dst] {
-						nextActive[dst] = true
+					if !nextActive.Get(dst) {
+						nextActive.Set(dst)
 						activeCount++
 					}
 				}
@@ -406,8 +407,8 @@ func Run(g *graph.Graph, hw cluster.Hardware, cfg Config, profile *cluster.Execu
 		}
 
 		values, newValues = newValues, values
-		active, nextActive = nextActive, active
-		clear(nextActive)
+		active.Swap(nextActive)
+		nextActive.Zero()
 		iter++
 		tr.End(iterSpan)
 		if cfg.AfterIteration != nil && cfg.AfterIteration(iter-1, values) {

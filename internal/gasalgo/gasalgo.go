@@ -204,6 +204,95 @@ func BFS(g *graph.Graph, hw cluster.Hardware, src graph.VertexID, inputBytes int
 	return out, &res.Stats, nil
 }
 
+// ---- SSSP -----------------------------------------------------------
+
+type ssspVal struct {
+	Dist    int64
+	Changed bool
+}
+
+func (ssspVal) Size() int64 { return 9 }
+
+type wdistAccum int64
+
+func (wdistAccum) Size() int64 { return 9 }
+
+// ssspProgram relaxes weighted out-arcs: gather takes the minimum of
+// in-neighbour distance + arc weight, recomputing the weight in O(1)
+// from the endpoints (WeightOf) instead of shipping weight arrays to
+// the mirrors.
+type ssspProgram struct {
+	g *graph.Graph
+}
+
+func (p ssspProgram) Gather(src, v graph.VertexID, srcVal, vVal gas.Value) gas.Accum {
+	d := srcVal.(ssspVal).Dist
+	if d < 0 {
+		return nil
+	}
+	return wdistAccum(d + int64(p.g.WeightOf(src, v)))
+}
+
+func (ssspProgram) Sum(a, b gas.Accum) gas.Accum {
+	if a.(wdistAccum) < b.(wdistAccum) {
+		return a
+	}
+	return b
+}
+
+func (ssspProgram) Apply(v graph.VertexID, old gas.Value, acc gas.Accum) gas.Value {
+	ov := old.(ssspVal)
+	if acc == nil {
+		// Only the source's first activation gathers nothing while
+		// already holding a distance: it must scatter its frontier.
+		return ssspVal{Dist: ov.Dist, Changed: ov.Dist >= 0}
+	}
+	d := int64(acc.(wdistAccum))
+	if ov.Dist < 0 || d < ov.Dist {
+		return ssspVal{Dist: d, Changed: true}
+	}
+	return ssspVal{Dist: ov.Dist, Changed: false}
+}
+
+func (ssspProgram) Scatter(v, dst graph.VertexID, newVal, dstVal gas.Value) bool {
+	return newVal.(ssspVal).Changed
+}
+
+// SSSP runs weighted single-source shortest paths from src. The
+// integer weights make every relaxation order produce byte-identical
+// distances.
+func SSSP(g *graph.Graph, hw cluster.Hardware, src graph.VertexID, inputBytes int64, mp bool, profile *cluster.ExecutionProfile) (algo.SSSPResult, *gas.Stats, error) {
+	if !g.Weighted() {
+		return algo.SSSPResult{}, nil, fmt.Errorf("gasalgo: SSSP requires a weighted graph")
+	}
+	cfg := gas.Config{
+		Program:          ssspProgram{g: g},
+		MultiPartLoading: mp,
+		InputBytes:       inputBytes,
+		InitialValue: func(v graph.VertexID) gas.Value {
+			if v == src {
+				return ssspVal{Dist: 0}
+			}
+			return ssspVal{Dist: -1}
+		},
+		InitiallyActive: func(v graph.VertexID) bool { return v == src },
+	}
+	res, err := gas.Run(g, hw, cfg, profile)
+	if err != nil {
+		return algo.SSSPResult{}, nil, err
+	}
+	out := algo.SSSPResult{Dist: make([]int64, g.NumVertices())}
+	for v, val := range res.Values {
+		d := val.(ssspVal).Dist
+		out.Dist[v] = d
+		if d >= 0 {
+			out.Visited++
+		}
+	}
+	out.Iterations = res.Stats.Iterations
+	return out, &res.Stats, nil
+}
+
 // ---- CONN -----------------------------------------------------------
 
 type connVal struct {

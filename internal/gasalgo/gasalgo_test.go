@@ -156,3 +156,28 @@ func TestMultiPartLoadingFaster(t *testing.T) {
 		t.Fatalf("mp load %.2f should beat single %.2f", mp, single)
 	}
 }
+
+func TestSSSPMatchesReference(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		wg := graph.WithWeights(g, 99)
+		src := algo.PickSource(wg, 42)
+		want := algo.RefSSSP(wg, src)
+		got, _, err := SSSP(wg, hw(), src, 1000, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Dist, want.Dist) {
+			t.Fatalf("%v: SSSP distances differ", wg)
+		}
+		if err := algo.ValidateSSSP(wg, src, &got); err != nil {
+			t.Fatalf("%v: %v", wg, err)
+		}
+	}
+}
+
+func TestSSSPRequiresWeights(t *testing.T) {
+	g := testGraphs(t)[0]
+	if _, _, err := SSSP(g, hw(), 0, 1000, false, nil); err == nil {
+		t.Fatal("SSSP accepted an unweighted graph")
+	}
+}

@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Weighted text interchange format.
+//
+// The paper's text format (format.go) carries no weights; the weighted
+// variant annotates every *outgoing* neighbour token with the arc
+// weight as "<id>:<w>":
+//
+//   - undirected: "<id>\t<n1>:<w1>,<n2>:<w2>,..."
+//   - directed:   "<id>\t<in1>,...\t<out1>:<w1>,..."
+//
+// The header is unchanged ("V <n> directed|undirected"), so a weighted
+// file fed to ReadText fails loudly on the first ':' token rather than
+// being silently misread. Weights are integers in [1, MaxTextWeight];
+// for an undirected edge listed on both endpoint lines the two
+// annotations must agree. In-lists of directed graphs are plain IDs —
+// an arc's weight is defined once, on its source line.
+
+// MaxTextWeight bounds parsed weights so that shortest-path sums stay
+// exact in int64 (and in float64, should callers convert).
+const MaxTextWeight = 1 << 24
+
+// WriteWeightedText serialises a weighted graph in the weighted text
+// format.
+func WriteWeightedText(w io.Writer, g *Graph) error {
+	if !g.Weighted() {
+		return fmt.Errorf("graph: WriteWeightedText on unweighted graph")
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	if _, err := fmt.Fprintf(bw, "V %d %s\n", g.n, kind); err != nil {
+		return err
+	}
+	var buf []byte
+	for v := VertexID(0); v < VertexID(g.n); v++ {
+		buf = strconv.AppendInt(buf[:0], int64(v), 10)
+		buf = append(buf, '\t')
+		if g.directed {
+			buf = appendList(buf, g.In(v))
+			buf = append(buf, '\t')
+		}
+		out, ws := g.Out(v), g.OutWeights(v)
+		for i, x := range out {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, int64(x), 10)
+			buf = append(buf, ':')
+			buf = strconv.AppendUint(buf, uint64(ws[i]), 10)
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// weightedArc is one parsed "dst:w" annotation of a source line.
+type weightedArc struct {
+	src, dst VertexID
+	w        uint32
+}
+
+// ReadWeightedText parses the weighted text format. It is strict the
+// way ReadText is: IDs must be in range, weights in [1, MaxTextWeight],
+// and an undirected edge annotated on both endpoint lines must carry
+// the same weight on both. The resulting graph has explicit weights
+// (WeightSeed() == 0).
+func ReadWeightedText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+
+	var n int
+	var directed bool
+	header := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var kind string
+		if _, err := fmt.Sscanf(line, "V %d %s", &n, &kind); err != nil {
+			return nil, fmt.Errorf("graph: bad header %q: %w", line, err)
+		}
+		switch kind {
+		case "directed":
+			directed = true
+		case "undirected":
+			directed = false
+		default:
+			return nil, fmt.Errorf("graph: bad directivity %q", kind)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("graph: negative vertex count %d in header", n)
+		}
+		header = true
+		break
+	}
+	if !header {
+		return nil, fmt.Errorf("graph: missing header")
+	}
+	if n > 1<<27 {
+		return nil, fmt.Errorf("graph: vertex count %d too large for the weighted text reader", n)
+	}
+
+	b := NewBuilder(n, directed)
+	var arcs []weightedArc
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		want := 2
+		if directed {
+			want = 3
+		}
+		if len(fields) != want {
+			return nil, fmt.Errorf("graph: vertex line has %d fields, want %d: %q", len(fields), want, line)
+		}
+		id, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad vertex id %q: %w", fields[0], err)
+		}
+		v := VertexID(id)
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("graph: vertex id %d out of range [0,%d)", v, n)
+		}
+		outField := fields[1]
+		if directed {
+			outField = fields[2]
+			// In-lists are plain IDs; validate range only.
+			if inField := fields[1]; inField != "" {
+				for _, tok := range strings.Split(inField, ",") {
+					u, err := strconv.ParseInt(tok, 10, 32)
+					if err != nil || u < 0 || int(u) >= n {
+						return nil, fmt.Errorf("graph: bad in-neighbour %q", tok)
+					}
+				}
+			}
+		}
+		if outField == "" {
+			continue
+		}
+		for _, tok := range strings.Split(outField, ",") {
+			idPart, wPart, ok := strings.Cut(tok, ":")
+			if !ok {
+				return nil, fmt.Errorf("graph: neighbour %q has no :weight", tok)
+			}
+			u, err := strconv.ParseInt(idPart, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad neighbour %q: %w", idPart, err)
+			}
+			w := VertexID(u)
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: neighbour id %d out of range [0,%d)", w, n)
+			}
+			wt, err := strconv.ParseUint(wPart, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad weight %q: %w", wPart, err)
+			}
+			if wt < 1 || wt > MaxTextWeight {
+				return nil, fmt.Errorf("graph: weight %d out of range [1,%d]", wt, MaxTextWeight)
+			}
+			if w == v {
+				continue // self-loops are dropped, like the unweighted reader
+			}
+			if directed || v < w {
+				b.AddEdge(v, w)
+			}
+			arcs = append(arcs, weightedArc{src: v, dst: w, w: uint32(wt)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	g := b.Build()
+	return attachExplicitWeights(g, arcs)
+}
+
+// attachExplicitWeights materialises parsed per-arc weights onto the
+// canonical CSR, checking that every stored arc got exactly one
+// consistent weight.
+func attachExplicitWeights(g *Graph, arcs []weightedArc) (*Graph, error) {
+	weights := make([]uint32, len(g.adj))
+	slot := func(u, v VertexID) (int64, error) {
+		nbrs := g.Out(u)
+		lo, hi := 0, len(nbrs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if nbrs[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo >= len(nbrs) || nbrs[lo] != v {
+			return 0, fmt.Errorf("graph: weighted arc (%d,%d) not present after build (edge listed only on the higher-ID line?)", u, v)
+		}
+		return g.offsets[u] + int64(lo), nil
+	}
+	assign := func(u, v VertexID, w uint32) error {
+		i, err := slot(u, v)
+		if err != nil {
+			return err
+		}
+		if old := weights[i]; old != 0 && old != w {
+			return fmt.Errorf("graph: conflicting weights %d and %d for edge (%d,%d)", old, w, u, v)
+		}
+		weights[i] = w
+		return nil
+	}
+	for _, a := range arcs {
+		if err := assign(a.src, a.dst, a.w); err != nil {
+			return nil, err
+		}
+		if !g.directed {
+			if err := assign(a.dst, a.src, a.w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, w := range weights {
+		if w == 0 {
+			// Find the arc for the error message.
+			u := VertexID(0)
+			for int64(len(g.offsets)) > int64(u)+1 && g.offsets[u+1] <= int64(i) {
+				u++
+			}
+			return nil, fmt.Errorf("graph: arc (%d,%d) has no weight annotation", u, g.adj[i])
+		}
+	}
+	g.weights = weights
+	g.weightSeed = 0
+	if g.directed {
+		inWeights := make([]uint32, len(g.inAdj))
+		for v := VertexID(0); v < VertexID(g.n); v++ {
+			ins := g.In(v)
+			for i, u := range ins {
+				j, err := slot(u, v)
+				if err != nil {
+					return nil, err
+				}
+				inWeights[g.inOffsets[v]+int64(i)] = weights[j]
+			}
+		}
+		g.inWeights = inWeights
+	}
+	return g, nil
+}

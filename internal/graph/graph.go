@@ -44,6 +44,13 @@ type Graph struct {
 	// In-adjacency; nil for undirected graphs.
 	inOffsets []int64
 	inAdj     []VertexID
+
+	// Per-arc weights aligned with adj/inAdj; nil for unweighted
+	// graphs (see weights.go). weightSeed is non-zero when the weights
+	// are hash-derived via WithWeights.
+	weights    []uint32
+	inWeights  []uint32
+	weightSeed uint64
 }
 
 // Directed reports whether the graph is directed.
@@ -165,6 +172,7 @@ func (g *Graph) MaxDegree() int {
 func (g *Graph) MemoryFootprint() int64 {
 	b := int64(len(g.offsets)+len(g.inOffsets)) * 8
 	b += int64(len(g.adj)+len(g.inAdj)) * 4
+	b += int64(len(g.weights)+len(g.inWeights)) * 4
 	return b
 }
 

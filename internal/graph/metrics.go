@@ -154,6 +154,36 @@ func (g *Graph) ConnectedComponents() []VertexID {
 	for i := range parent {
 		parent[i] = int32(i)
 	}
+	// Single-worker fast path: the same union-find without the atomic
+	// loads/CAS — on one core the LOCK prefixes are pure overhead. The
+	// labels are identical either way: roots are minimal vertex IDs
+	// regardless of merge order.
+	if runtime.GOMAXPROCS(0) == 1 || numChunks(int(g.n)) == 1 {
+		find := func(x int32) int32 {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for u := VertexID(0); u < VertexID(g.n); u++ {
+			for _, v := range g.Out(u) {
+				ra, rb := find(int32(u)), find(int32(v))
+				if ra == rb {
+					continue
+				}
+				if ra > rb {
+					ra, rb = rb, ra
+				}
+				parent[rb] = ra
+			}
+		}
+		labels := make([]VertexID, g.n)
+		for i := range labels {
+			labels[i] = VertexID(find(int32(i)))
+		}
+		return labels
+	}
 	find := func(x int32) int32 {
 		for {
 			p := atomic.LoadInt32(&parent[x])

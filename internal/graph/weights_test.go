@@ -1,0 +1,328 @@
+package graph_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomGraph builds a canonical random graph for weight tests.
+func randomGraph(t *testing.T, n, edges int, directed bool, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, directed)
+	for i := 0; i < edges; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+func TestWithWeightsDeterminism(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := randomGraph(t, 200, 1200, directed, 7)
+		a := graph.WithWeights(g, 99)
+		b := graph.WithWeights(g, 99)
+		if !a.Equal(b) {
+			t.Fatalf("directed=%v: same seed produced different weighted graphs", directed)
+		}
+		c := graph.WithWeights(g, 100)
+		if a.Equal(c) {
+			t.Fatalf("directed=%v: different seeds produced identical weights", directed)
+		}
+		if !a.Weighted() || a.WeightSeed() != 99 {
+			t.Fatalf("weighted view not marked weighted with its seed")
+		}
+		if g.Weighted() {
+			t.Fatalf("WithWeights mutated the original graph")
+		}
+		// Idempotent: rewrapping a weighted view with the same seed
+		// returns it unchanged.
+		if graph.WithWeights(a, 99) != a {
+			t.Fatalf("WithWeights(a, sameSeed) did not return a itself")
+		}
+	}
+}
+
+func TestWeightAlignment(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := graph.WithWeights(randomGraph(t, 150, 900, directed, 11), 42)
+		for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+			out, ws := g.Out(v), g.OutWeights(v)
+			if len(out) != len(ws) {
+				t.Fatalf("OutWeights(%d) length %d, Out %d", v, len(ws), len(out))
+			}
+			for i, u := range out {
+				if ws[i] == 0 || ws[i] > graph.MaxWeight {
+					t.Fatalf("weight %d out of range", ws[i])
+				}
+				if got := g.WeightOf(v, u); got != ws[i] {
+					t.Fatalf("WeightOf(%d,%d)=%d, OutWeights says %d", v, u, got, ws[i])
+				}
+			}
+			ins, iws := g.In(v), g.InWeights(v)
+			if len(ins) != len(iws) {
+				t.Fatalf("InWeights(%d) length %d, In %d", v, len(iws), len(ins))
+			}
+			for i, u := range ins {
+				if got := g.WeightOf(u, v); got != iws[i] {
+					t.Fatalf("in-arc (%d,%d) weight %d, WeightOf says %d", u, v, iws[i], got)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightSymmetryUndirected(t *testing.T) {
+	g := graph.WithWeights(randomGraph(t, 120, 700, false, 3), 5)
+	for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Out(v) {
+			if g.WeightOf(v, u) != g.WeightOf(u, v) {
+				t.Fatalf("undirected weight asymmetric on edge (%d,%d)", v, u)
+			}
+		}
+	}
+	if graph.WeightFor(5, 3, 9, false) != graph.WeightFor(5, 9, 3, false) {
+		t.Fatalf("WeightFor not symmetric for undirected endpoints")
+	}
+}
+
+// snapshotVersion decodes the version field of serialised snapshot
+// bytes.
+func snapshotVersion(t *testing.T, b []byte) uint32 {
+	t.Helper()
+	if len(b) < 8 {
+		t.Fatalf("snapshot too short (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint32(b[4:8])
+}
+
+func TestBinaryWeightedRoundTrip(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := graph.WithWeights(randomGraph(t, 180, 1100, directed, 21), 77)
+		var buf bytes.Buffer
+		if err := graph.WriteBinary(&buf, g); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		if got, want := int64(buf.Len()), graph.BinarySize(g); got != want {
+			t.Fatalf("wrote %d bytes, BinarySize says %d", got, want)
+		}
+		if v := snapshotVersion(t, buf.Bytes()); v != graph.BinaryVersionWeighted {
+			t.Fatalf("weighted snapshot wrote version %d, want %d", v, graph.BinaryVersionWeighted)
+		}
+		back, err := graph.ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadBinary: %v", err)
+		}
+		if !back.Equal(g) {
+			t.Fatalf("weighted round trip altered the graph (directed=%v)", directed)
+		}
+		if !back.Weighted() || back.WeightSeed() != 77 {
+			t.Fatalf("round trip lost weights (weighted=%v seed=%d)", back.Weighted(), back.WeightSeed())
+		}
+
+		// A flipped bit in the weight section must fail the checksum.
+		raw := append([]byte(nil), buf.Bytes()...)
+		raw[len(raw)-20] ^= 1
+		if _, err := graph.ReadBinary(bytes.NewReader(raw)); err == nil {
+			t.Fatalf("corrupted weighted snapshot accepted")
+		}
+	}
+}
+
+func TestBinaryUnweightedStaysVersion1(t *testing.T) {
+	g := randomGraph(t, 100, 500, true, 9)
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	if v := snapshotVersion(t, buf.Bytes()); v != graph.BinaryVersion {
+		t.Fatalf("unweighted snapshot wrote version %d, want %d", v, graph.BinaryVersion)
+	}
+	// Version-1 bytes (pre-weights format) load as an unweighted graph:
+	// backward compatibility for every snapshot cached before v2.
+	back, err := graph.ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinary of v1 snapshot: %v", err)
+	}
+	if back.Weighted() {
+		t.Fatalf("v1 snapshot loaded as weighted")
+	}
+	if !back.Equal(g) {
+		t.Fatalf("v1 round trip altered the graph")
+	}
+}
+
+func TestBinaryV1RejectsWeightedFlag(t *testing.T) {
+	g := randomGraph(t, 50, 200, false, 13)
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	// Setting the weighted flag on a version-1 header must be rejected
+	// as an unknown flag: v1 readers never understood it.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[8] |= 2 // flagWeighted
+	if _, err := graph.ReadBinary(bytes.NewReader(raw)); err == nil {
+		t.Fatalf("v1 snapshot with weighted flag accepted")
+	}
+}
+
+func TestWeightedTextRoundTrip(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		g := graph.WithWeights(randomGraph(t, 90, 450, directed, 17), 31)
+		var buf bytes.Buffer
+		if err := graph.WriteWeightedText(&buf, g); err != nil {
+			t.Fatalf("WriteWeightedText: %v", err)
+		}
+		back, err := graph.ReadWeightedText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadWeightedText: %v\ninput:\n%s", err, buf.String())
+		}
+		if !back.Weighted() || back.WeightSeed() != 0 {
+			t.Fatalf("parsed weights should be explicit (seed 0)")
+		}
+		if back.NumVertices() != g.NumVertices() {
+			t.Fatalf("vertex count changed: %d vs %d", back.NumVertices(), g.NumVertices())
+		}
+		for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+			wantOut, wantW := g.Out(v), g.OutWeights(v)
+			gotOut, gotW := back.Out(v), back.OutWeights(v)
+			if len(wantOut) != len(gotOut) {
+				t.Fatalf("vertex %d out-degree changed", v)
+			}
+			for i := range wantOut {
+				if wantOut[i] != gotOut[i] || wantW[i] != gotW[i] {
+					t.Fatalf("vertex %d arc %d changed: (%d,%d) vs (%d,%d)",
+						v, i, wantOut[i], wantW[i], gotOut[i], gotW[i])
+				}
+			}
+			ins, iws := back.In(v), back.InWeights(v)
+			for i, u := range ins {
+				if got, want := iws[i], back.WeightOf(u, v); got != want {
+					t.Fatalf("parsed in-weight (%d,%d)=%d, WeightOf says %d", u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing weight":      "V 2 undirected\n0\t1\n1\t0:3\n",
+		"zero weight":         "V 2 undirected\n0\t1:0\n1\t0:0\n",
+		"huge weight":         "V 2 undirected\n0\t1:99999999\n1\t0:99999999\n",
+		"conflicting weights": "V 2 undirected\n0\t1:3\n1\t0:4\n",
+		"bad neighbour":       "V 2 undirected\n0\t9:3\n1\t\n",
+		"bad header":          "V x undirected\n",
+		"empty input":         "",
+		"edge on higher line": "V 2 undirected\n0\t\n1\t0:3\n",
+	}
+	for name, input := range cases {
+		if _, err := graph.ReadWeightedText(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := graph.NewBitset(200)
+	if b.Len() != 200 || b.Count() != 0 {
+		t.Fatalf("fresh bitset Len=%d Count=%d", b.Len(), b.Count())
+	}
+	for _, v := range []graph.VertexID{0, 1, 63, 64, 65, 127, 128, 199} {
+		b.Set(v)
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count=%d, want 8", b.Count())
+	}
+	if !b.Get(63) || !b.Get(64) || b.Get(62) {
+		t.Fatalf("Get wrong around word boundary")
+	}
+	b.Unset(64)
+	if b.Get(64) || b.Count() != 7 {
+		t.Fatalf("Unset failed")
+	}
+
+	var got []graph.VertexID
+	b.Range(0, 200, func(v graph.VertexID) { got = append(got, v) })
+	want := []graph.VertexID{0, 1, 63, 65, 127, 128, 199}
+	if len(got) != len(want) {
+		t.Fatalf("Range yielded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range yielded %v, want %v", got, want)
+		}
+	}
+
+	// Subrange with boundaries inside words.
+	got = got[:0]
+	b.Range(1, 128, func(v graph.VertexID) { got = append(got, v) })
+	want = []graph.VertexID{1, 63, 65, 127}
+	if len(got) != len(want) {
+		t.Fatalf("subrange yielded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("subrange yielded %v, want %v", got, want)
+		}
+	}
+
+	o := graph.NewBitset(200)
+	o.Set(5)
+	b.Swap(o)
+	if b.Count() != 1 || !b.Get(5) || o.Count() != 7 {
+		t.Fatalf("Swap did not exchange contents")
+	}
+	b.Zero()
+	if b.Count() != 0 {
+		t.Fatalf("Zero left %d bits", b.Count())
+	}
+}
+
+// FuzzWeightedText asserts the weighted reader's contract on arbitrary
+// bytes: it never panics, and whenever it accepts an input the parsed
+// graph survives a weighted write/read round trip.
+func FuzzWeightedText(f *testing.F) {
+	seeds := []string{
+		"",
+		"V 3 undirected\n0\t1:4\n1\t0:4,2:9\n2\t1:9\n",
+		"V 3 directed\n0\t\t1:2\n1\t0\t2:3\n2\t1\t\n",
+		"V 2 undirected\n0\t1:3\n1\t0:4\n", // conflicting weights
+		"V 2 undirected\n0\t1\n1\t0\n",     // missing weights
+		"V 2 undirected\n0\t1:0\n1\t0:0\n", // zero weight
+		"V 2 undirected\n0\t1:16777217\n1\t0:16777217\n",
+		"V 2 directed\n0\t9\t1:2\n1\t0\t\n", // bad in-neighbour
+		"# comment\nV 1 undirected\n0\t\n",
+		"V -1 directed\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := graph.ReadWeightedText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := graph.WriteWeightedText(&buf, g); err != nil {
+			t.Fatalf("WriteWeightedText: %v", err)
+		}
+		back, err := graph.ReadWeightedText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !back.Equal(g) {
+			t.Fatalf("round trip altered the graph")
+		}
+	})
+}

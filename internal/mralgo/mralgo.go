@@ -197,6 +197,131 @@ func collectBFS(d mapreduce.Dataset, n int) algo.BFSResult {
 	return res
 }
 
+// BuildWeightedDataset converts a weighted graph into vertex records
+// that carry per-arc weights alongside the out-lists, for the SSSP
+// jobs.
+func BuildWeightedDataset(g *graph.Graph) mapreduce.Dataset {
+	n := g.NumVertices()
+	d := make(mapreduce.Dataset, n)
+	for v := 0; v < n; v++ {
+		rec := &algo.VertexRec{
+			Out:   g.Out(graph.VertexID(v)),
+			WOut:  g.OutWeights(graph.VertexID(v)),
+			Dist:  -1,
+			DistW: -1,
+			Label: graph.VertexID(v),
+		}
+		if g.Directed() {
+			rec.In = g.In(graph.VertexID(v))
+		}
+		d[v] = mapreduce.KV{Key: int64(v), Value: rec}
+	}
+	return d
+}
+
+// SSSP runs weighted single-source shortest paths as synchronous
+// Bellman-Ford, one job per relaxation round: records whose distance
+// improved in the previous round (WRound == 1) relax their out-arcs,
+// reducers keep the minimum candidate, and the loop ends on a round
+// with no improvements. Integer weights make the distances exact and
+// byte-identical to the sequential reference.
+func SSSP(e *mapreduce.Engine, g *graph.Graph, src graph.VertexID) (algo.SSSPResult, error) {
+	if !g.Weighted() {
+		return algo.SSSPResult{}, fmt.Errorf("mralgo: SSSP requires a weighted graph")
+	}
+	input := BuildWeightedDataset(g)
+	srcRec := input[src].Value.(*algo.VertexRec).Clone()
+	srcRec.DistW = 0
+	srcRec.WRound = 1
+	input[src] = mapreduce.KV{Key: int64(src), Value: srcRec}
+
+	iterations := 0
+	for {
+		cfg := mapreduce.JobConfig{
+			Name: fmt.Sprintf("sssp-%d", iterations),
+			Mapper: mapreduce.MapperFunc(func(k int64, v mapreduce.Value, out *mapreduce.Emitter) {
+				rec := v.(*algo.VertexRec)
+				out.Emit(k, rec)
+				if rec.DistW >= 0 && rec.WRound == 1 {
+					for i, u := range rec.Out {
+						out.Emit(int64(u), algo.WDistMsg(rec.DistW+int64(rec.WOut[i])))
+					}
+				}
+			}),
+			Combiner: minWDistCombiner{},
+			Reducer: mapreduce.ReducerFunc(func(k int64, values []mapreduce.Value, out *mapreduce.Emitter) {
+				rec := findRec(values)
+				if rec == nil {
+					return
+				}
+				best := int64(-1)
+				for _, v := range values {
+					if d, ok := v.(algo.WDistMsg); ok && (best < 0 || int64(d) < best) {
+						best = int64(d)
+					}
+				}
+				switch {
+				case best >= 0 && (rec.DistW < 0 || best < rec.DistW):
+					rec = rec.Clone()
+					rec.DistW = best
+					rec.WRound = 1
+					out.Incr("updated", 1)
+				case rec.WRound == 1:
+					// Leave the frontier: this record relaxed its arcs in
+					// the round that just ran.
+					rec = rec.Clone()
+					rec.WRound = 0
+				}
+				out.Emit(k, rec)
+			}),
+		}
+		output, stats, err := e.Run(cfg, input, input.Bytes())
+		if err != nil {
+			return algo.SSSPResult{}, err
+		}
+		iterations++
+		input = output
+		if stats.Counters.Get("updated") == 0 {
+			break
+		}
+	}
+	e.Profile.Iterations = iterations
+	res := algo.SSSPResult{Dist: make([]int64, g.NumVertices()), Iterations: iterations}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+	}
+	for _, kv := range input {
+		if rec, ok := kv.Value.(*algo.VertexRec); ok {
+			res.Dist[kv.Key] = rec.DistW
+			if rec.DistW >= 0 {
+				res.Visited++
+			}
+		}
+	}
+	return res, nil
+}
+
+// minWDistCombiner keeps only the smallest weighted-distance candidate
+// per key, passing the vertex record through.
+type minWDistCombiner struct{}
+
+func (minWDistCombiner) Reduce(k int64, values []mapreduce.Value, out *mapreduce.Emitter) {
+	best := int64(-1)
+	for _, v := range values {
+		switch x := v.(type) {
+		case *algo.VertexRec:
+			out.Emit(k, x)
+		case algo.WDistMsg:
+			if best < 0 || int64(x) < best {
+				best = int64(x)
+			}
+		}
+	}
+	if best >= 0 {
+		out.Emit(k, algo.WDistMsg(best))
+	}
+}
+
 // Conn runs the cloud-based connected components of Wu & Du: min-label
 // propagation, one job per round, until a fixed point.
 func Conn(e *mapreduce.Engine, g *graph.Graph) (algo.ConnResult, error) {

@@ -211,6 +211,88 @@ func BFS(e *dataflow.Engine, g *graph.Graph, src graph.VertexID) (algo.BFSResult
 	return res, nil
 }
 
+// BuildWeightedDataset converts a weighted graph into vertex records
+// that carry per-arc weights alongside the out-lists.
+func BuildWeightedDataset(g *graph.Graph) dataflow.Dataset {
+	n := g.NumVertices()
+	d := make(dataflow.Dataset, n)
+	for v := 0; v < n; v++ {
+		rec := &algo.VertexRec{
+			Out:   g.Out(graph.VertexID(v)),
+			WOut:  g.OutWeights(graph.VertexID(v)),
+			Dist:  -1,
+			DistW: -1,
+			Label: graph.VertexID(v),
+		}
+		if g.Directed() {
+			rec.In = g.In(graph.VertexID(v))
+		}
+		d[v] = dataflow.Record{Key: int64(v), Value: rec}
+	}
+	return d
+}
+
+// SSSP runs weighted single-source shortest paths as synchronous
+// Bellman-Ford, one job per relaxation round: records that improved in
+// the previous round (WRound == 1) relax their out-arcs, the CoGroup
+// keeps the minimum candidate, and the loop ends on a round with no
+// improvements.
+func SSSP(e *dataflow.Engine, g *graph.Graph, src graph.VertexID) (algo.SSSPResult, error) {
+	if !g.Weighted() {
+		return algo.SSSPResult{}, fmt.Errorf("pactalgo: SSSP requires a weighted graph")
+	}
+	input := BuildWeightedDataset(g)
+	rec := input[src].Value.(*algo.VertexRec).Clone()
+	rec.DistW = 0
+	rec.WRound = 1
+	input[src] = dataflow.Record{Key: int64(src), Value: rec}
+
+	state, iterations, err := iterate(e, "sssp", input, 0,
+		func(iter int, in dataflow.Record, out *dataflow.Collector) {
+			r := in.Value.(*algo.VertexRec)
+			if r.DistW >= 0 && r.WRound == 1 {
+				for i, u := range r.Out {
+					out.Collect(int64(u), algo.WDistMsg(r.DistW+int64(r.WOut[i])))
+				}
+			}
+		},
+		func(key int64, r *algo.VertexRec, msgs []dataflow.Record, changed *int64) *algo.VertexRec {
+			best := int64(-1)
+			for _, m := range msgs {
+				if d, ok := m.Value.(algo.WDistMsg); ok && (best < 0 || int64(d) < best) {
+					best = int64(d)
+				}
+			}
+			switch {
+			case best >= 0 && (r.DistW < 0 || best < r.DistW):
+				r = r.Clone()
+				r.DistW = best
+				r.WRound = 1
+				atomic.AddInt64(changed, 1)
+			case r.WRound == 1:
+				// Leave the frontier after relaxing.
+				r = r.Clone()
+				r.WRound = 0
+			}
+			return r
+		})
+	if err != nil {
+		return algo.SSSPResult{}, err
+	}
+	res := algo.SSSPResult{Dist: make([]int64, g.NumVertices()), Iterations: iterations}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+	}
+	for _, r := range state {
+		d := r.Value.(*algo.VertexRec).DistW
+		res.Dist[r.Key] = d
+		if d >= 0 {
+			res.Visited++
+		}
+	}
+	return res, nil
+}
+
 // Conn runs min-label propagation, one job per round.
 func Conn(e *dataflow.Engine, g *graph.Graph) (algo.ConnResult, error) {
 	input := BuildDataset(g)

@@ -158,3 +158,21 @@ func TestEVOSingleJobPerIteration(t *testing.T) {
 		t.Fatalf("jobs = %d, want 1 per iteration = %d (map-reduce-reduce)", jobs, p.EVOIterations)
 	}
 }
+
+func TestSSSPMatchesReference(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		wg := graph.WithWeights(g, 99)
+		src := algo.PickSource(wg, 42)
+		want := algo.RefSSSP(wg, src)
+		got, err := SSSP(newEngine(), wg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Dist, want.Dist) {
+			t.Fatalf("%v: SSSP distances differ", wg)
+		}
+		if err := algo.ValidateSSSP(wg, src, &got); err != nil {
+			t.Fatalf("%v: %v", wg, err)
+		}
+	}
+}

@@ -79,15 +79,34 @@ func reference(r *Record) *Metrics {
 // reported as skipped with a notice rather than hard-failing or
 // vanishing (suites only grow; see the package comment in perf.go).
 func Check(paths []string) ([]CheckResult, error) {
+	// Suites are constructed lazily, in order, only when a baseline
+	// entry needs one: each suite constructor generates and retains its
+	// graphs, and the committed figures were recorded by bench-*
+	// subcommands that build a single suite. Building all suites up
+	// front would measure every entry against a much larger live heap
+	// than its reference was recorded with, which shows up as phantom
+	// GC-pressure regressions on the smallest entries.
 	suite := map[string]Bench{}
-	for _, bm := range Suite(BaselineScale, BaselineSeed) {
-		suite[bm.Name] = bm
+	constructors := []func() []Bench{
+		func() []Bench { return Suite(BaselineScale, BaselineSeed) },
+		func() []Bench { return IngestSuite(BaselineSeed) },
+		func() []Bench { return PartitionSuite(BaselineScale, BaselineSeed) },
+		func() []Bench { return GapSuite(BaselineScale, BaselineSeed) },
 	}
-	for _, bm := range IngestSuite(BaselineSeed) {
-		suite[bm.Name] = bm
-	}
-	for _, bm := range PartitionSuite(BaselineScale, BaselineSeed) {
-		suite[bm.Name] = bm
+	next := 0
+	resolve := func(name string) (Bench, bool) {
+		for {
+			if bm, ok := suite[name]; ok {
+				return bm, true
+			}
+			if next == len(constructors) {
+				return Bench{}, false
+			}
+			for _, bm := range constructors[next]() {
+				suite[bm.Name] = bm
+			}
+			next++
+		}
 	}
 
 	var out []CheckResult
@@ -106,7 +125,7 @@ func Check(paths []string) ([]CheckResult, error) {
 		sort.Strings(names)
 		for _, name := range names {
 			ref := reference(bl.Benchmarks[name])
-			bm, ok := suite[name]
+			bm, ok := resolve(name)
 			if !ok || ref == nil {
 				reason := "no measurable target in the current suites"
 				if ref == nil {

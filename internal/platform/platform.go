@@ -30,17 +30,37 @@ import (
 	"repro/internal/yarn"
 )
 
-// Algorithm names, as used throughout the paper.
+// Algorithm names, as used throughout the paper, plus the weighted
+// shortest-path extension (SSSP) every platform implements over the
+// weighted CSR.
 const (
 	STATS = "STATS"
 	BFS   = "BFS"
 	CONN  = "CONN"
 	CD    = "CD"
 	EVO   = "EVO"
+	SSSP  = "SSSP"
 )
 
-// Algorithms lists the five algorithm classes in paper order.
-func Algorithms() []string { return []string{STATS, BFS, CONN, CD, EVO} }
+// Algorithms lists the algorithm classes: the paper's five in paper
+// order, then SSSP.
+func Algorithms() []string { return []string{STATS, BFS, CONN, CD, EVO, SSSP} }
+
+// SSSPWeightSeed derives the synthetic edge weights every platform
+// shares when an SSSP spec's graph carries none: the weight of an arc
+// is a pure function of this seed and its endpoints, so all engines —
+// and the sequential reference — see identical weights.
+const SSSPWeightSeed uint64 = 0x5353_5350 // "SSSP"
+
+// weightedFor returns the weighted view SSSP runs on: the graph
+// itself when already weighted, otherwise the shared derived
+// weighting.
+func weightedFor(g *graph.Graph) *graph.Graph {
+	if g.Weighted() {
+		return g
+	}
+	return graph.WithWeights(g, SSSPWeightSeed)
+}
 
 // Timeout thresholds, in projected (paper-scale) seconds. The paper
 // terminated Stratosphere's STATS on DotaLeague after ~4 hours, and
@@ -386,6 +406,8 @@ func (p *mrPlatform) Run(spec Spec) *Result {
 		out, err = callE(func() (any, error) { return mralgo.CD(eng, spec.G, spec.Params) })
 	case EVO:
 		out, err = callE(func() (any, error) { return mralgo.EVO(eng, spec.G, spec.Params) })
+	case SSSP:
+		out, err = callE(func() (any, error) { return mralgo.SSSP(eng, weightedFor(spec.G), spec.Params.BFSSource) })
 	default:
 		err = fmt.Errorf("unknown algorithm %q", spec.Algorithm)
 	}
@@ -454,6 +476,8 @@ func (p stratoPlatform) Run(spec Spec) *Result {
 		out, err = callE(func() (any, error) { return pactalgo.CD(eng, spec.G, spec.Params) })
 	case EVO:
 		out, err = callE(func() (any, error) { return pactalgo.EVO(eng, spec.G, spec.Params) })
+	case SSSP:
+		out, err = callE(func() (any, error) { return pactalgo.SSSP(eng, weightedFor(spec.G), spec.Params.BFSSource) })
 	default:
 		err = fmt.Errorf("unknown algorithm %q", spec.Algorithm)
 	}
@@ -544,6 +568,12 @@ func (p giraphPlatform) Run(spec Spec) *Result {
 			out = res
 			return e
 		})
+	case SSSP:
+		err = runPregel(func(limit int64) error {
+			res, _, e := pregelalgo.SSSP(weightedFor(spec.G), hw, spec.Params.BFSSource, limit, r.Profile)
+			out = res
+			return e
+		})
 	default:
 		err = fmt.Errorf("unknown algorithm %q", spec.Algorithm)
 	}
@@ -613,6 +643,9 @@ func (p graphlabPlatform) Run(spec Spec) *Result {
 	case EVO:
 		res, e := gasalgo.EVO(spec.G, spec.HW, spec.Params, inputBytes, p.mp, r.Profile)
 		out, err = res, e
+	case SSSP:
+		res, _, e := gasalgo.SSSP(weightedFor(spec.G), spec.HW, spec.Params.BFSSource, inputBytes, p.mp, r.Profile)
+		out, err = res, e
 	default:
 		err = fmt.Errorf("unknown algorithm %q", spec.Algorithm)
 	}
@@ -656,7 +689,13 @@ func (p neo4jPlatform) Run(spec Spec) *Result {
 
 	cfg := graphdb.DefaultConfig()
 	cfg.Projection = proj
-	db := graphdb.Open(spec.G, cfg)
+	sg := spec.G
+	if spec.Algorithm == SSSP {
+		// SSSP reads weight properties; open the store over the shared
+		// weighted view (topology and caches are unchanged).
+		sg = weightedFor(sg)
+	}
+	db := graphdb.Open(sg, cfg)
 
 	if db.IngestSeconds() > IngestionLimit {
 		r.Status = NotSupported
@@ -677,6 +716,8 @@ func (p neo4jPlatform) Run(spec Spec) *Result {
 			return dbalgo.CD(db, spec.Params, profile)
 		case EVO:
 			return dbalgo.EVO(db, spec.Params, profile)
+		case SSSP:
+			return dbalgo.SSSP(db, spec.Params.BFSSource, profile)
 		}
 		return nil, fmt.Errorf("unknown algorithm %q", spec.Algorithm)
 	}

@@ -7,6 +7,8 @@
 package pregelalgo
 
 import (
+	"fmt"
+
 	"repro/internal/algo"
 	"repro/internal/cluster"
 	"repro/internal/graph"
@@ -134,9 +136,14 @@ func BFS(g *graph.Graph, hw cluster.Hardware, src graph.VertexID, sendLimit int6
 	if err != nil {
 		return algo.BFSResult{}, nil, err
 	}
-	out := algo.BFSResult{Levels: make([]int32, g.NumVertices())}
+	return collectBFS(res.Values, g.NumVertices()), &res.Stats, nil
+}
+
+// collectBFS converts final distVal states into a BFSResult.
+func collectBFS(values []pregel.Value, n int) algo.BFSResult {
+	out := algo.BFSResult{Levels: make([]int32, n)}
 	maxLevel := int32(0)
-	for v, val := range res.Values {
+	for v, val := range values {
 		d := int32(val.(distVal))
 		out.Levels[v] = d
 		if d >= 0 {
@@ -147,6 +154,229 @@ func BFS(g *graph.Graph, hw cluster.Hardware, src graph.VertexID, sendLimit int6
 		}
 	}
 	out.Iterations = int(maxLevel)
+	return out
+}
+
+// BFSDirOpt runs BFS with Beamer-style direction switching. Top-down
+// supersteps expand the frontier by messages, exactly like BFS; once
+// the frontier's unexplored out-arcs cross the alpha threshold, the
+// Reactivate barrier hook wakes every vertex and the next superstep
+// runs bottom-up — each unvisited vertex pulls over its in-arcs,
+// checking the frozen previous-superstep frontier through PrevValue
+// instead of the frontier pushing messages. The pull-side arc reads
+// are charged to the cost model with Charge. When the frontier decays
+// below |V|/beta the run hands back to top-down: the last pull-set
+// frontier pushes its out-arcs once and message expansion resumes.
+//
+// The mode decision is a pure function of (superstep, merged
+// aggregates), kept in a superstep-indexed table so checkpoint replay
+// after an injected fault reaches the identical schedule. Levels are
+// byte-identical to BFS for any switch points.
+func BFSDirOpt(g *graph.Graph, hw cluster.Hardware, src graph.VertexID, sendLimit int64, profile *cluster.ExecutionProfile) (algo.BFSResult, *pregel.Stats, error) {
+	const (
+		alpha  = 15 // TD->BU when frontier out-arcs exceed unexplored/alpha
+		beta   = 18 // BU->TD when the frontier shrinks below |V|/beta
+		modeTD = 0.0
+		modeBU = 1.0
+	)
+	n := g.NumVertices()
+	// duState is the direction-switching state after a superstep.
+	type duState struct {
+		mode    float64 // mode of the NEXT superstep
+		level   float64 // dist of the deepest set level so far
+		edges   float64 // out-arcs not yet expanded top-down
+		visited float64
+	}
+	states := map[int]duState{
+		-1: {mode: modeTD, level: -1, edges: float64(g.AdjSize())},
+	}
+	cfg := pregel.Config{
+		Combiner:         minDistCombiner{},
+		SendLimitPerNode: sendLimit,
+		TrackPrevValues:  true,
+		InitialValue: func(v graph.VertexID) pregel.Value {
+			if v == src {
+				return distVal(0)
+			}
+			return distVal(-1)
+		},
+		InitiallyActive: func(v graph.VertexID) bool { return v == src },
+		Reactivate: func(superstep int, agg map[string]float64) func(v graph.VertexID) bool {
+			prev := states[superstep-1]
+			frontier, scout := agg["frontier"], agg["scout"]
+			next := duState{
+				mode:    prev.mode,
+				level:   prev.level,
+				edges:   prev.edges - scout,
+				visited: prev.visited + frontier,
+			}
+			if next.edges < 0 {
+				next.edges = 0
+			}
+			if frontier > 0 {
+				next.level = prev.level + 1
+			}
+			switch {
+			case frontier == 0:
+				// Nothing new was set: fall back to top-down so the run
+				// either quiesces or finishes a bottom-up -> top-down
+				// handoff already in flight.
+				next.mode = modeTD
+			case prev.mode == modeTD && scout > next.edges/alpha:
+				next.mode = modeBU
+			case prev.mode == modeBU && frontier < float64(n)/beta:
+				next.mode = modeTD
+			}
+			states[superstep] = next
+			// Publish the schedule for the next superstep's vertices.
+			agg["mode"] = next.mode
+			agg["level"] = next.level
+			if next.mode == modeBU {
+				// Bottom-up scans every vertex; the unvisited ones do the
+				// pulling, the rest halt immediately.
+				return func(graph.VertexID) bool { return true }
+			}
+			return nil
+		},
+		Program: pregel.ProgramFunc(func(ctx *pregel.Context, msgs []pregel.Message) {
+			cur := int32(ctx.Value().(distVal))
+			if ctx.Superstep() == 0 {
+				// Only the source is active: seed the frontier.
+				ctx.Aggregate("frontier", 1)
+				ctx.Aggregate("scout", float64(ctx.OutDegree()))
+				ctx.SendToNeighbors(algo.DistMsg(1))
+				ctx.VoteToHalt()
+				return
+			}
+			level := int32(ctx.Aggregated("level"))
+			if ctx.Aggregated("mode") == modeBU {
+				// Bottom-up: pull from the frozen previous frontier. Any
+				// in-flight messages from the top-down superstep before
+				// the switch are redundant with the pull and dropped.
+				if cur < 0 {
+					in := ctx.In()
+					ctx.Charge(int64(len(in)))
+					for _, u := range in {
+						if int32(ctx.PrevValue(u).(distVal)) == level {
+							ctx.SetValue(distVal(level + 1))
+							ctx.Aggregate("frontier", 1)
+							ctx.Aggregate("scout", float64(ctx.OutDegree()))
+							// Stay active: if the next superstep switches
+							// to top-down this vertex pushes the handoff.
+							return
+						}
+					}
+				}
+				ctx.VoteToHalt()
+				return
+			}
+			// Top-down.
+			if cur >= 0 {
+				if len(msgs) == 0 && cur == level {
+					// Bottom-up -> top-down handoff: the pull-set frontier
+					// pushes its out-arcs once, then message expansion
+					// continues as in plain BFS.
+					ctx.SendToNeighbors(algo.DistMsg(cur + 1))
+				}
+				ctx.VoteToHalt()
+				return
+			}
+			best := int32(-1)
+			for _, m := range msgs {
+				if d := int32(m.(algo.DistMsg)); best < 0 || d < best {
+					best = d
+				}
+			}
+			if best >= 0 {
+				ctx.SetValue(distVal(best))
+				ctx.Aggregate("frontier", 1)
+				ctx.Aggregate("scout", float64(ctx.OutDegree()))
+				ctx.SendToNeighbors(algo.DistMsg(best + 1))
+			}
+			ctx.VoteToHalt()
+		}),
+	}
+	res, err := pregel.Run(g, hw, cfg, profile)
+	if err != nil {
+		return algo.BFSResult{}, nil, err
+	}
+	return collectBFS(res.Values, n), &res.Stats, nil
+}
+
+// wdistVal is a weighted SSSP distance vertex value (-1 unreached).
+type wdistVal int64
+
+func (wdistVal) Size() int64 { return 9 }
+
+// minWDistCombiner collapses weighted distance candidates to the
+// minimum.
+type minWDistCombiner struct{}
+
+func (minWDistCombiner) Combine(a, b pregel.Message) pregel.Message {
+	if a.(algo.WDistMsg) < b.(algo.WDistMsg) {
+		return a
+	}
+	return b
+}
+
+// SSSP runs weighted single-source shortest paths as synchronous
+// Bellman-Ford with a min-combiner: every vertex whose distance
+// improves relaxes its out-arcs in the next superstep. Weights are
+// integers, so distances are exact and byte-identical to the
+// sequential reference whatever the relaxation order.
+func SSSP(g *graph.Graph, hw cluster.Hardware, src graph.VertexID, sendLimit int64, profile *cluster.ExecutionProfile) (algo.SSSPResult, *pregel.Stats, error) {
+	if !g.Weighted() {
+		return algo.SSSPResult{}, nil, fmt.Errorf("pregelalgo: SSSP requires a weighted graph")
+	}
+	relax := func(ctx *pregel.Context, base int64) {
+		ws := g.OutWeights(ctx.ID())
+		for i, u := range ctx.Out() {
+			ctx.Send(u, algo.WDistMsg(base+int64(ws[i])))
+		}
+	}
+	cfg := pregel.Config{
+		Combiner:         minWDistCombiner{},
+		SendLimitPerNode: sendLimit,
+		InitialValue: func(v graph.VertexID) pregel.Value {
+			if v == src {
+				return wdistVal(0)
+			}
+			return wdistVal(-1)
+		},
+		InitiallyActive: func(v graph.VertexID) bool { return v == src },
+		Program: pregel.ProgramFunc(func(ctx *pregel.Context, msgs []pregel.Message) {
+			cur := int64(ctx.Value().(wdistVal))
+			if ctx.Superstep() == 0 {
+				relax(ctx, 0)
+				ctx.VoteToHalt()
+				return
+			}
+			best := int64(-1)
+			for _, m := range msgs {
+				if d := int64(m.(algo.WDistMsg)); best < 0 || d < best {
+					best = d
+				}
+			}
+			if best >= 0 && (cur < 0 || best < cur) {
+				ctx.SetValue(wdistVal(best))
+				relax(ctx, best)
+			}
+			ctx.VoteToHalt()
+		}),
+	}
+	res, err := pregel.Run(g, hw, cfg, profile)
+	if err != nil {
+		return algo.SSSPResult{}, nil, err
+	}
+	out := algo.SSSPResult{Dist: make([]int64, g.NumVertices())}
+	for v, val := range res.Values {
+		d := int64(val.(wdistVal))
+		out.Dist[v] = d
+		if d >= 0 {
+			out.Visited++
+		}
+	}
+	out.Iterations = res.Stats.Supersteps
 	return out, &res.Stats, nil
 }
 

@@ -98,8 +98,8 @@ func TestExploratoryMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 35 { // 7 datasets x 5 algorithms
-		t.Fatalf("results = %d, want 35", len(out))
+	if len(out) != 42 { // 7 datasets x 6 algorithms
+		t.Fatalf("results = %d, want 42", len(out))
 	}
 	crashes := 0
 	byKey := map[string]platform.Status{}

@@ -7,18 +7,22 @@
 #   --partition  additionally run the partition matrix smoke: chaos under
 #                an explicit 4-shard placement for each strategy x engine
 #                pair, plus the quality table.
+#   --gap        additionally run the GAP kernel equivalence tests under
+#                the race detector and the SSSP engine matrix.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 run_chaos=0
 run_partition=0
+run_gap=0
 for arg in "$@"; do
     case "$arg" in
     --chaos) run_chaos=1 ;;
     --partition) run_partition=1 ;;
+    --gap) run_gap=1 ;;
     *)
-        echo "usage: $0 [--chaos] [--partition]" >&2
+        echo "usage: $0 [--chaos] [--partition] [--gap]" >&2
         exit 2
         ;;
     esac
@@ -84,6 +88,15 @@ if [ "$run_partition" = 1 ]; then
     done
     echo "-- partition quality table"
     go run ./cmd/graphbench -scale 40 -shards 8 partition-quality KGS
+fi
+
+if [ "$run_gap" = 1 ]; then
+    echo "== gap kernels (equivalence under -race + SSSP engine matrix)"
+    go test -race -run 'BFSDirOpt|SSSPDeltaStep|PageRankPull|Validate' ./internal/algo/
+    go test -race -run 'SSSP' \
+        ./internal/pregelalgo/ ./internal/gasalgo/ ./internal/mralgo/ \
+        ./internal/pactalgo/ ./internal/dbalgo/
+    go test -run 'TestSSSPEquivalenceMatrix|TestGapBFSSpeedupGate' .
 fi
 
 echo "ok"
