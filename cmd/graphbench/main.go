@@ -8,6 +8,8 @@
 //	graphbench [flags] run <platform> <algorithm> <dataset>
 //	graphbench [flags] chaos <engine> [algorithm] [dataset]
 //	graphbench [flags] curves <platform> [measured]
+//	graphbench [flags] serve [-addr HOST:PORT]
+//	graphbench [flags] loadtest [-users N -arrival poisson -duration 30s]
 //	graphbench bench-check [baseline.json ...]
 //	graphbench [flags] all
 //
@@ -151,7 +153,16 @@ func main() {
 			t.Rows = append(t.Rows, []string{e.Dataset, e.Algorithm, e.Status.String(), e.Reason})
 		}
 		emit(t)
+	case "serve":
+		serveCmd(args[1:], *cache, sess)
 	case "loadtest":
+		// Two forms share the verb: the flag-driven serving loadtest
+		// (`loadtest -users 200 -arrival poisson`) and the legacy
+		// positional platform form (`loadtest Giraph BFS KGS`).
+		if serveFlagForm(args[1:]) {
+			loadtestServeCmd(args[1:], *cache, sess)
+			break
+		}
 		need(args, 4)
 		p, err := platform.ByName(args[1])
 		if err != nil {
@@ -243,10 +254,22 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Printf("wrote %s (%s)\n\n%s", out, phase, bl.Summary())
+	case "bench-serve":
+		need(args, 2)
+		phase := args[1]
+		out := "BENCH_pr8.json"
+		if len(args) > 2 {
+			out = args[2]
+		}
+		bl, err := perf.WriteServeBaseline(out, phase)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s (%s)\n\n%s", out, phase, bl.Summary())
 	case "bench-check":
 		files := args[1:]
 		if len(files) == 0 {
-			files = []string{"BENCH_pr2.json", "BENCH_pr3.json", "BENCH_pr6.json", "BENCH_pr7.json"}
+			files = []string{"BENCH_pr2.json", "BENCH_pr3.json", "BENCH_pr6.json", "BENCH_pr7.json", "BENCH_pr8.json"}
 		}
 		results, err := perf.Check(files)
 		if err != nil {
@@ -386,6 +409,8 @@ func usage() {
   graphbench [flags] findings
   graphbench [flags] explore <platform>
   graphbench [flags] loadtest <platform> <algorithm> <dataset>
+  graphbench [flags] loadtest [-users N -duration D -arrival closed|poisson -mix bfs|mixed]
+  graphbench [flags] serve [-addr HOST:PORT -datasets LIST -window D -lanes N]
   graphbench [flags] predict <platform> <algorithm> <dataset>
   graphbench [flags] partition-quality <dataset>
   graphbench [flags] partition-study
@@ -393,6 +418,7 @@ func usage() {
   graphbench bench-ingest <before|after> [file]
   graphbench bench-partition <before|after> [file]
   graphbench bench-gap <before|after> [file]
+  graphbench bench-serve <before|after> [file]
   graphbench bench-check [baseline.json ...]
   graphbench [flags] all
 

@@ -56,3 +56,42 @@ func TestConcurrentEngineWorkers(t *testing.T) {
 		t.Fatal("sampler recorded nothing")
 	}
 }
+
+// TestConcurrentRingWrap holds many spans open across a tiny ring so
+// slot recycling constantly collides between goroutines: Ends land on
+// recycled slots, Begins race other Begins a full wrap ahead. This is
+// the shape a sustained loadtest produces (millions of spans through
+// one ring) and must be an ordinary lost-span, never a data race.
+func TestConcurrentRingWrap(t *testing.T) {
+	tr := NewTracer(16)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			open := make([]SpanRef, 0, 64)
+			for i := 0; i < 4000; i++ {
+				open = append(open, tr.Begin("wrap", KindPhase, int64(i), SpanRef{}))
+				if len(open) == cap(open) {
+					for _, r := range open {
+						tr.End(r)
+					}
+					open = open[:0]
+				}
+			}
+			for _, r := range open {
+				tr.End(r)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, r := range tr.Export() {
+		if r.EndNs < r.StartNs {
+			t.Fatalf("span %d ends at %d before its start %d", r.ID, r.EndNs, r.StartNs)
+		}
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("a 16-slot ring under 32000 spans must report drops")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -62,11 +63,14 @@ type SpanRef struct {
 // Valid reports whether the ref points at a real span.
 func (r SpanRef) Valid() bool { return r.id != 0 }
 
-// span is one ring slot. Slots are owned by the goroutine that claimed
-// them via the atomic cursor; End writes only to the slot its ref
-// names, and only while the slot's id still matches.
+// span is one ring slot. The gen word is a per-slot seqlock: the
+// stable value is the owning span's id shifted left once, the low bit
+// marks a writer mid-update. Begin and End claim the slot by CAS
+// before touching the plain fields, so recycling a slot on ring wrap
+// under concurrent load is an ordinary (race-free) lost-span, not a
+// data race. 0 = never used.
 type span struct {
-	id     uint64 // global ordinal (1-based); 0 = never used
+	gen    atomic.Uint64 // id<<1, low bit set while being written
 	parent uint64
 	start  int64 // nanoseconds since tracer epoch
 	end    int64 // 0 while open
@@ -113,13 +117,32 @@ func (t *Tracer) Begin(name string, kind SpanKind, index int64, parent SpanRef) 
 	}
 	id := t.next.Add(1)
 	s := &t.spans[(id-1)&t.mask]
-	s.id = id
+	for {
+		g := s.gen.Load()
+		if g>>1 >= id {
+			// A later wrap already owns (or is writing) this slot; our
+			// span is dropped on arrival. The ref stays valid so End
+			// remains a no-op rather than an error.
+			return SpanRef{id: id}
+		}
+		if g&1 != 0 {
+			// An older owner is mid-write; it finishes in a few plain
+			// stores. Only reachable when a full ring wraps during one
+			// slot update, so yielding here costs nothing in practice.
+			runtime.Gosched()
+			continue
+		}
+		if s.gen.CompareAndSwap(g, id<<1|1) {
+			break
+		}
+	}
 	s.parent = parent.id
 	s.start = t.now()
 	s.end = 0
 	s.index = index
 	s.name = name
 	s.kind = kind
+	s.gen.Store(id << 1)
 	return SpanRef{id: id}
 }
 
@@ -130,9 +153,11 @@ func (t *Tracer) End(ref SpanRef) {
 		return
 	}
 	s := &t.spans[(ref.id-1)&t.mask]
-	if s.id == ref.id {
-		s.end = t.now()
+	if !s.gen.CompareAndSwap(ref.id<<1, ref.id<<1|1) {
+		return // recycled by ring wrap, or a writer owns the slot
 	}
+	s.end = t.now()
+	s.gen.Store(ref.id << 1)
 }
 
 // Dropped reports how many spans were overwritten by ring wrap.
@@ -168,11 +193,12 @@ func (t *Tracer) Export() []SpanRecord {
 	out := make([]SpanRecord, 0, len(t.spans))
 	for i := range t.spans {
 		s := &t.spans[i]
-		if s.id == 0 || s.end == 0 {
+		id := s.gen.Load() >> 1
+		if id == 0 || s.end == 0 {
 			continue
 		}
 		out = append(out, SpanRecord{
-			ID: s.id, ParentID: s.parent, Name: s.name, Kind: s.kind.String(),
+			ID: id, ParentID: s.parent, Name: s.name, Kind: s.kind.String(),
 			Index: s.index, StartNs: s.start, EndNs: s.end,
 		})
 	}

@@ -92,6 +92,7 @@ func Check(paths []string) ([]CheckResult, error) {
 		func() []Bench { return IngestSuite(BaselineSeed) },
 		func() []Bench { return PartitionSuite(BaselineScale, BaselineSeed) },
 		func() []Bench { return GapSuite(BaselineScale, BaselineSeed) },
+		func() []Bench { return ServeSuite(BaselineScale, BaselineSeed) },
 	}
 	next := 0
 	resolve := func(name string) (Bench, bool) {
@@ -162,7 +163,11 @@ func RenderCheck(results []CheckResult) (string, bool) {
 				c.Name, "-", "-", "-", "-", c.Reason)
 			continue
 		}
-		verdict := "ok"
+		// Passing entries print their measured-vs-baseline ratios too,
+		// so a CI log is auditable (how close to the line was this
+		// run?) without flipping any entry red.
+		verdict := fmt.Sprintf("ok (ns %.2fx, allocs %.2fx)",
+			ratio(c.GotNs, c.RefNs), ratio(float64(c.GotAllocs), float64(c.RefAllocs)))
 		if c.Regressed {
 			failed = true
 			verdict = "REGRESSED (" + c.Reason + ")"

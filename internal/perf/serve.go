@@ -1,0 +1,106 @@
+// Serving benchmark entries: the PR 8 batched multi-source BFS kernel
+// against its solo counterpart, plus the warmed point-query path of
+// the serving daemon. The speedup gate (TestBatchSpeedupGate) divides
+// serve-bfs-single-dotaleague by serve-bfs-batch64-dotaleague/64 to
+// check the per-query amortization claim; entry names are stable
+// identifiers (BENCH_pr8.json keys).
+package perf
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// ServeBatchLanes is the lane count the batch entry sweeps: the full
+// bitset width, the configuration the amortization gate is stated for.
+const ServeBatchLanes = algo.MaxBFSLanes
+
+// serveBatchSources spreads lanes sources across the vertex range,
+// anchored at the suite's canonical source. Spread sources make the
+// union frontier saturate within a couple of levels, which is the
+// worst realistic case for the batch (maximum distinct work per lane).
+func serveBatchSources(g *graph.Graph, seed int64, lanes int) []graph.VertexID {
+	n := g.NumVertices()
+	base := int(algo.PickSource(g, seed))
+	srcs := make([]graph.VertexID, lanes)
+	for i := range srcs {
+		srcs[i] = graph.VertexID((base + i*(n/lanes+1)) % n)
+	}
+	return srcs
+}
+
+// ServeSuite returns the fixed serving benchmark set on DotaLeague.
+func ServeSuite(scale int, seed int64) []Bench {
+	dota := mustGraph("DotaLeague", scale, seed)
+	src := algo.PickSource(dota, seed)
+	srcs := serveBatchSources(dota, seed, ServeBatchLanes)
+	opt := algo.GapOptions{}
+	ctx := context.Background()
+
+	// One in-process server for the point-query entry, warmed so the
+	// benchmark measures the steady-state cache-hit path (what a
+	// loadtest spends almost all of its queries on). Validation stays
+	// on: it runs once at warmup, not per hit.
+	srv, err := serve.New(serve.Config{Scale: scale, Seed: seed, CacheDir: CacheDir})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := srv.BFS(ctx, "DotaLeague", src, srcs[1]); err != nil {
+		panic(err)
+	}
+
+	return []Bench{
+		{
+			// Solo baseline: one direction-optimizing BFS, the cost a
+			// point query pays when it cannot share a sweep.
+			Name: "serve-bfs-single-dotaleague",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					_ = algo.BFSDirOpt(dota, src, opt)
+				}
+			},
+		},
+		{
+			// Headline batch: 64 lanes in one mask-plane sweep. The
+			// gate requires single/(batch/64) >= 8x.
+			Name: "serve-bfs-batch64-dotaleague",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := algo.BFSMultiSource(ctx, dota, srcs, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// Warmed serving path: admission, cache lookup, answer
+			// construction. This is the per-query cost the sustained
+			// QPS figure in BENCH_pr8.json is built from.
+			Name: "serve-point-query-dotaleague",
+			Run: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := srv.BFS(ctx, "DotaLeague", src, srcs[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+	}
+}
+
+// WriteServeBaseline measures the serving suite and merges the results
+// into path under the given phase (BENCH_pr8.json).
+func WriteServeBaseline(path, phase string) (*Baseline, error) {
+	return writeSuiteBaseline(path, phase,
+		"graphbench serving perf baseline: solo BFS vs 64-lane batched multi-source BFS, warmed point-query path (see internal/perf/serve.go)",
+		BaselineScale, func() map[string]*Metrics {
+			return MeasureSuite(ServeSuite(BaselineScale, BaselineSeed))
+		})
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// batcher coalesces concurrent BFS-backed point queries into
+// multi-source lane sweeps. One dispatcher goroutine per dataset pulls
+// queries off a bounded queue, holds an open batch for BatchWindow (or
+// until MaxLanes distinct sources fill), runs algo.BFSMultiSource
+// once, certifies each lane with algo.ValidateBFS, installs the trees
+// in the result cache, and fans results out to the waiters.
+//
+// The queue bound IS the admission controller: tree() never blocks on
+// a full queue, it fails fast with ErrOverloaded so callers shed load
+// at the edge instead of stacking goroutines.
+type batcher struct {
+	d   *dataset
+	cfg *Config
+
+	queue    chan bfsWaiter
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+
+	mu    sync.RWMutex
+	cache map[graph.VertexID]*algo.BFSTree
+
+	tracer *obs.Tracer
+	// Counters (nil-safe when no obs session is attached):
+	//   serve.queries     point queries admitted
+	//   serve.cache.hits  served straight from the result cache
+	//   serve.batches     sweeps executed
+	//   serve.lanes       total lanes across sweeps (lanes/batches =
+	//                     achieved amortization)
+	//   serve.overloads   queries rejected by admission control
+	//   serve.deadlines   queries that missed their deadline
+	queries, hits, batches, lanes, overloads, deadlines *obs.Counter
+}
+
+// bfsWaiter is one queued query: a source plus the channel its result
+// fans out on. done is buffered so the dispatcher never blocks on a
+// waiter that gave up at its deadline.
+type bfsWaiter struct {
+	src  graph.VertexID
+	done chan bfsOutcome
+}
+
+type bfsOutcome struct {
+	tree *algo.BFSTree
+	err  error
+}
+
+func newBatcher(d *dataset, cfg *Config) *batcher {
+	reg := cfg.Obs.R()
+	b := &batcher{
+		d:         d,
+		cfg:       cfg,
+		queue:     make(chan bfsWaiter, cfg.QueueDepth),
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+		cache:     make(map[graph.VertexID]*algo.BFSTree),
+		tracer:    cfg.Obs.T(),
+		queries:   reg.Counter("serve.queries"),
+		hits:      reg.Counter("serve.cache.hits"),
+		batches:   reg.Counter("serve.batches"),
+		lanes:     reg.Counter("serve.lanes"),
+		overloads: reg.Counter("serve.overloads"),
+		deadlines: reg.Counter("serve.deadlines"),
+	}
+	go b.dispatch()
+	return b
+}
+
+func (b *batcher) stop() {
+	b.stopOnce.Do(func() { close(b.stopCh) })
+	<-b.doneCh
+}
+
+func (b *batcher) cacheLen() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.cache)
+}
+
+func (b *batcher) lookup(src graph.VertexID) *algo.BFSTree {
+	b.mu.RLock()
+	t := b.cache[src]
+	b.mu.RUnlock()
+	return t
+}
+
+// tree returns the certified BFS tree for src: from the result cache
+// when resident, otherwise by riding the next batched sweep. The
+// configured QueryTimeout is layered onto the caller's context.
+func (b *batcher) tree(ctx context.Context, src graph.VertexID) (t *algo.BFSTree, cached bool, err error) {
+	b.queries.Add(1)
+	if t := b.lookup(src); t != nil {
+		b.hits.Add(1)
+		return t, true, nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, b.cfg.QueryTimeout)
+	defer cancel()
+
+	w := bfsWaiter{src: src, done: make(chan bfsOutcome, 1)}
+	select {
+	case b.queue <- w:
+	default:
+		b.overloads.Add(1)
+		return nil, false, ErrOverloaded
+	}
+	select {
+	case out := <-w.done:
+		return out.tree, false, out.err
+	case <-ctx.Done():
+		b.deadlines.Add(1)
+		return nil, false, fmt.Errorf("%w waiting for batch: %v", algo.ErrDeadlineExceeded, ctx.Err())
+	}
+}
+
+// dispatch is the scheduler loop: collect a batch, sweep, fan out;
+// on stop, drain whatever is still queued so no waiter is stranded.
+func (b *batcher) dispatch() {
+	defer close(b.doneCh)
+	for {
+		select {
+		case w := <-b.queue:
+			b.runBatch(b.collect(w))
+		case <-b.stopCh:
+			for {
+				select {
+				case w := <-b.queue:
+					b.runBatch(b.collect(w))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect gathers queries for one sweep: starting from the first
+// waiter, it admits more until MaxLanes distinct sources are filled or
+// the batch window closes. Duplicate sources share a lane.
+func (b *batcher) collect(first bfsWaiter) ([]graph.VertexID, map[graph.VertexID][]chan bfsOutcome) {
+	srcs := []graph.VertexID{first.src}
+	waiters := map[graph.VertexID][]chan bfsOutcome{first.src: {first.done}}
+	timer := time.NewTimer(b.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(srcs) < b.cfg.MaxLanes {
+		select {
+		case w := <-b.queue:
+			if _, dup := waiters[w.src]; !dup {
+				srcs = append(srcs, w.src)
+			}
+			waiters[w.src] = append(waiters[w.src], w.done)
+		case <-timer.C:
+			return srcs, waiters
+		}
+	}
+	return srcs, waiters
+}
+
+// runBatch executes one multi-source sweep and fans the lanes out.
+// Every lane is certified by ValidateBFS before it may enter the cache
+// or answer a query; the batch runs under the per-query deadline so an
+// expired sweep cancels mid-flight via the kernel's context checks.
+func (b *batcher) runBatch(srcs []graph.VertexID, waiters map[graph.VertexID][]chan bfsOutcome) {
+	span := b.tracer.Begin("serve.batch", obs.KindJob, int64(len(srcs)), obs.SpanRef{})
+	bctx, cancel := context.WithTimeout(context.Background(), b.cfg.QueryTimeout)
+	trees, err := algo.BFSMultiSource(bctx, b.d.g, srcs, algo.GapOptions{Workers: b.cfg.Workers})
+	cancel()
+	b.tracer.End(span)
+	b.batches.Add(1)
+	b.lanes.Add(int64(len(srcs)))
+
+	if err != nil {
+		b.deadlines.Add(int64(len(srcs)))
+		for _, chans := range waiters {
+			out := bfsOutcome{err: err}
+			for _, ch := range chans {
+				ch <- out
+			}
+		}
+		return
+	}
+	// Certify, install, and fan out lane by lane: a lane's waiters
+	// unblock as soon as ITS certificate passes, not after the whole
+	// batch validates, and the cache lock is never held across a
+	// certificate run. A failed certificate fails only its own lane.
+	for l, src := range srcs {
+		out := bfsOutcome{tree: trees[l]}
+		if !b.cfg.SkipValidate {
+			if verr := algo.ValidateBFS(b.d.g, src, &trees[l].BFSResult); verr != nil {
+				out = bfsOutcome{err: fmt.Errorf("serve: BFS certificate failed for source %d: %w", src, verr)}
+			}
+		}
+		if out.err == nil {
+			b.mu.Lock()
+			if len(b.cache) >= b.cfg.ResultCacheSize {
+				for k := range b.cache {
+					delete(b.cache, k)
+					break
+				}
+			}
+			b.cache[src] = trees[l]
+			b.mu.Unlock()
+		}
+		for _, ch := range waiters[src] {
+			ch <- out
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+)
+
+// HTTP/JSON front end. Every query endpoint takes a POST with a small
+// JSON body and returns the corresponding answer struct; errors come
+// back as {"error": "..."} with the status the error class maps to:
+//
+//	400  malformed JSON / unknown fields / wrong types
+//	404  unknown dataset, vertex out of range
+//	429  admission control rejected the query (ErrOverloaded)
+//	504  per-query deadline expired (algo.ErrDeadlineExceeded)
+//	500  anything else (including a failed result certificate)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /query/bfs        {dataset, src, target}  -> BFSAnswer
+//	POST /query/khop       {dataset, src, k}       -> KHopAnswer
+//	POST /query/component  {dataset, vertex}       -> ComponentAnswer
+//	POST /query/sssp       {dataset, src, target}  -> SSSPAnswer
+//	GET  /stats?dataset=D                          -> StatsAnswer
+//	GET  /datasets                                 -> {datasets: [...]}
+//	GET  /healthz                                  -> {ok: true}
+//	GET  /metricz                                  -> obs registry JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query/bfs", s.handleBFS)
+	mux.HandleFunc("POST /query/khop", s.handleKHop)
+	mux.HandleFunc("POST /query/component", s.handleComponent)
+	mux.HandleFunc("POST /query/sssp", s.handleSSSP)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /datasets", s.handleDatasets)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /metricz", s.handleMetricz)
+	return mux
+}
+
+// queryBody covers every query endpoint's fields; each handler
+// validates the subset it needs. Unknown fields are rejected so typos
+// fail loudly instead of silently querying vertex 0.
+type queryBody struct {
+	Dataset string `json:"dataset"`
+	Src     *int64 `json:"src,omitempty"`
+	Target  *int64 `json:"target,omitempty"`
+	Vertex  *int64 `json:"vertex,omitempty"`
+	K       *int32 `json:"k,omitempty"`
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request) (*queryBody, bool) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var q queryBody
+	if err := dec.Decode(&q); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return nil, false
+	}
+	return &q, true
+}
+
+func need(w http.ResponseWriter, name string, v *int64) (graph.VertexID, bool) {
+	if v == nil {
+		writeError(w, http.StatusBadRequest, "missing field: "+name)
+		return 0, false
+	}
+	return graph.VertexID(*v), true
+}
+
+func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
+	q, ok := decodeBody(w, r)
+	if !ok {
+		return
+	}
+	src, ok := need(w, "src", q.Src)
+	if !ok {
+		return
+	}
+	target, ok := need(w, "target", q.Target)
+	if !ok {
+		return
+	}
+	ans, err := s.BFS(r.Context(), q.Dataset, src, target)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request) {
+	q, ok := decodeBody(w, r)
+	if !ok {
+		return
+	}
+	src, ok := need(w, "src", q.Src)
+	if !ok {
+		return
+	}
+	if q.K == nil {
+		writeError(w, http.StatusBadRequest, "missing field: k")
+		return
+	}
+	ans, err := s.KHop(r.Context(), q.Dataset, src, *q.K)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func (s *Server) handleComponent(w http.ResponseWriter, r *http.Request) {
+	q, ok := decodeBody(w, r)
+	if !ok {
+		return
+	}
+	v, ok := need(w, "vertex", q.Vertex)
+	if !ok {
+		return
+	}
+	ans, err := s.Component(r.Context(), q.Dataset, v)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
+	q, ok := decodeBody(w, r)
+	if !ok {
+		return
+	}
+	src, ok := need(w, "src", q.Src)
+	if !ok {
+		return
+	}
+	target, ok := need(w, "target", q.Target)
+	if !ok {
+		return
+	}
+	ans, err := s.SSSP(r.Context(), q.Dataset, src, target)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ans, err := s.Stats(r.URL.Query().Get("dataset"))
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"datasets": s.Datasets()})
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	reg := s.cfg.Obs.R()
+	if reg == nil {
+		writeError(w, http.StatusNotFound, "no metrics session attached")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = reg.WriteJSON(w)
+}
+
+// writeQueryError maps a query-layer error to its HTTP status.
+func writeQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, algo.ErrDeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, ErrUnknownDataset), errors.Is(err, ErrBadVertex):
+		status = http.StatusNotFound
+	}
+	writeError(w, status, err.Error())
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

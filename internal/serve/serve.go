@@ -1,0 +1,448 @@
+// Package serve is the graph-serving daemon: generated datasets stay
+// memory-resident (loaded through the binary-snapshot cache, so a warm
+// start is one GCSR read instead of a regeneration) and point queries —
+// BFS distance/reachability, connected-component lookup, k-hop
+// neighbourhood counts, SSSP distance, graph stats — are answered over
+// an in-process API and an HTTP/JSON front end.
+//
+// The perf core is the batching scheduler in batcher.go: concurrent
+// BFS-backed point queries coalesce into one multi-source
+// lane-bitmask sweep (algo.BFSMultiSource), so a batch of 64 queries
+// costs a handful of shared CSR sweeps instead of 64 traversals. Full
+// per-source trees are kept in a bounded result cache — a point query
+// is then one map lookup, and every tree entering the cache has been
+// checked by algo.ValidateBFS first, so served answers are certified.
+//
+// Admission control is a bounded execution queue: when it is full,
+// queries fail fast with a typed ErrOverloaded (HTTP 429) instead of
+// queueing without bound; per-query deadlines cancel in-flight sweeps
+// through the kernel's context checks (ErrDeadlineExceeded, HTTP 504).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Typed serving errors; the HTTP layer maps each to a status code.
+var (
+	// ErrOverloaded is admission control rejecting a query because the
+	// execution queue is full (HTTP 429).
+	ErrOverloaded = errors.New("serve: overloaded, execution queue full")
+	// ErrUnknownDataset names a dataset the server did not load (HTTP 404).
+	ErrUnknownDataset = errors.New("serve: unknown dataset")
+	// ErrBadVertex is a vertex ID outside the dataset's range (HTTP 404).
+	ErrBadVertex = errors.New("serve: vertex out of range")
+)
+
+// Config sizes a Server. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Datasets are datagen profile names to load resident; nil loads
+	// only DotaLeague.
+	Datasets []string
+	// Scale and Seed pin the generated datasets (defaults: scale 8 —
+	// the perf-baseline scale — and seed 42).
+	Scale int
+	Seed  int64
+	// CacheDir, when non-empty, loads/saves binary GCSR snapshots so
+	// restarts skip regeneration.
+	CacheDir string
+	// Workers caps kernel parallelism (0: kernel default).
+	Workers int
+	// BatchWindow is how long the scheduler holds an open batch for
+	// more queries before sweeping (default 100µs).
+	BatchWindow time.Duration
+	// MaxLanes caps sources per sweep, at most algo.MaxBFSLanes
+	// (default: algo.MaxBFSLanes).
+	MaxLanes int
+	// QueueDepth bounds the execution queue; admission beyond it fails
+	// with ErrOverloaded (default 1024).
+	QueueDepth int
+	// QueryTimeout is the per-query deadline (default 200ms — wide
+	// enough for a cold full batch to sweep AND certify all 64 lanes;
+	// warm queries answer in microseconds).
+	QueryTimeout time.Duration
+	// ResultCacheSize bounds the per-dataset result caches, in source
+	// vertices (default 8192).
+	ResultCacheSize int
+	// SkipValidate disables the ValidateBFS check on each executed
+	// lane before its tree may serve answers. Only benchmarks that
+	// isolate sweep cost should set it.
+	SkipValidate bool
+	// Obs receives spans (batch executions) and counters; nil disables.
+	Obs *obs.Session
+}
+
+func (c *Config) fill() {
+	if len(c.Datasets) == 0 {
+		c.Datasets = []string{"DotaLeague"}
+	}
+	if c.Scale <= 0 {
+		c.Scale = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 100 * time.Microsecond
+	}
+	if c.MaxLanes <= 0 || c.MaxLanes > algo.MaxBFSLanes {
+		c.MaxLanes = algo.MaxBFSLanes
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 200 * time.Millisecond
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 8192
+	}
+}
+
+// Server is the daemon: resident datasets, one batching scheduler per
+// dataset, and the query API the HTTP layer and load generator share.
+type Server struct {
+	cfg      Config
+	datasets map[string]*dataset
+}
+
+// dataset is one resident graph plus its lazily derived views and its
+// batcher.
+type dataset struct {
+	name string
+	g    *graph.Graph
+
+	weightedOnce sync.Once
+	weighted     *graph.Graph
+
+	compOnce  sync.Once
+	compLabel []graph.VertexID
+	compSize  map[graph.VertexID]int
+
+	batcher *batcher
+	sssp    *ssspCache
+}
+
+// New loads every configured dataset resident (through the snapshot
+// cache when CacheDir is set) and starts the batching schedulers.
+// Callers must Close the server to stop them.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	s := &Server{cfg: cfg, datasets: make(map[string]*dataset, len(cfg.Datasets))}
+	for _, name := range cfg.Datasets {
+		p, err := datagen.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		var g *graph.Graph
+		if cfg.CacheDir != "" {
+			g = p.GenerateCached(cfg.Scale, cfg.Seed, cfg.CacheDir)
+		} else {
+			g = p.GenerateScaled(cfg.Scale, cfg.Seed)
+		}
+		d := &dataset{name: p.Name, g: g, sssp: newSSSPCache(cfg.ResultCacheSize)}
+		d.batcher = newBatcher(d, &cfg)
+		s.datasets[p.Name] = d
+	}
+	return s, nil
+}
+
+// Close stops the batching schedulers. In-flight batches finish;
+// queued queries are answered before shutdown completes.
+func (s *Server) Close() {
+	for _, d := range s.datasets {
+		d.batcher.stop()
+	}
+}
+
+// Config returns the server's effective (default-filled) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Datasets lists the resident dataset names, sorted.
+func (s *Server) Datasets() []string {
+	names := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Server) dataset(name string) (*dataset, error) {
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return d, nil
+}
+
+func (d *dataset) checkVertex(v graph.VertexID) error {
+	if int(v) < 0 || int(v) >= d.g.NumVertices() {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrBadVertex, v, d.g.NumVertices())
+	}
+	return nil
+}
+
+// BFSAnswer is one point-query result derived from a certified BFS
+// tree.
+type BFSAnswer struct {
+	Dataset   string `json:"dataset"`
+	Src       int64  `json:"src"`
+	Target    int64  `json:"target"`
+	Reachable bool   `json:"reachable"`
+	// Dist is the hop distance src→target, -1 when unreachable.
+	Dist int32 `json:"dist"`
+	// Visited counts vertices reachable from src.
+	Visited int `json:"visited"`
+	// Cached reports whether the query was served from the result
+	// cache (false: this query's batch executed the sweep).
+	Cached bool `json:"cached"`
+}
+
+// BFS answers a point reachability/distance query. Cache hits return
+// immediately; misses ride the batching scheduler. The context bounds
+// the whole query; the configured QueryTimeout is applied on top.
+func (s *Server) BFS(ctx context.Context, dsName string, src, target graph.VertexID) (*BFSAnswer, error) {
+	d, err := s.dataset(dsName)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkVertex(src); err != nil {
+		return nil, err
+	}
+	if err := d.checkVertex(target); err != nil {
+		return nil, err
+	}
+	tree, cached, err := d.batcher.tree(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	dist := tree.Levels[target]
+	return &BFSAnswer{
+		Dataset:   d.name,
+		Src:       int64(src),
+		Target:    int64(target),
+		Reachable: dist >= 0,
+		Dist:      dist,
+		Visited:   tree.Visited,
+		Cached:    cached,
+	}, nil
+}
+
+// KHopAnswer reports the size of a k-hop neighbourhood.
+type KHopAnswer struct {
+	Dataset string `json:"dataset"`
+	Src     int64  `json:"src"`
+	K       int32  `json:"k"`
+	// Count is the number of vertices within k hops, the source
+	// included.
+	Count int `json:"count"`
+	// Frontier is the number at exactly k hops.
+	Frontier int `json:"frontier"`
+}
+
+// KHop counts the vertices within k hops of src. It shares the BFS
+// result cache — the k-hop set is a level filter over the same tree.
+func (s *Server) KHop(ctx context.Context, dsName string, src graph.VertexID, k int32) (*KHopAnswer, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("serve: negative hop count %d", k)
+	}
+	d, err := s.dataset(dsName)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkVertex(src); err != nil {
+		return nil, err
+	}
+	tree, _, err := d.batcher.tree(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	ans := &KHopAnswer{Dataset: d.name, Src: int64(src), K: k}
+	for _, lv := range tree.Levels {
+		if lv >= 0 && lv <= k {
+			ans.Count++
+			if lv == k {
+				ans.Frontier++
+			}
+		}
+	}
+	return ans, nil
+}
+
+// ComponentAnswer locates a vertex's connected component.
+type ComponentAnswer struct {
+	Dataset string `json:"dataset"`
+	Vertex  int64  `json:"vertex"`
+	// Component is the component label (the minimum vertex ID in the
+	// component, the engines' shared convention).
+	Component int64 `json:"component"`
+	Size      int   `json:"size"`
+}
+
+// Component answers a connected-component lookup. Labels are computed
+// once per dataset on first use and shared by every query after.
+func (s *Server) Component(ctx context.Context, dsName string, v graph.VertexID) (*ComponentAnswer, error) {
+	d, err := s.dataset(dsName)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkVertex(v); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", algo.ErrDeadlineExceeded, err)
+	}
+	d.compOnce.Do(func() {
+		d.compLabel = d.g.ConnectedComponents()
+		d.compSize = make(map[graph.VertexID]int)
+		for _, label := range d.compLabel {
+			d.compSize[label]++
+		}
+	})
+	label := d.compLabel[v]
+	return &ComponentAnswer{
+		Dataset:   d.name,
+		Vertex:    int64(v),
+		Component: int64(label),
+		Size:      d.compSize[label],
+	}, nil
+}
+
+// SSSPAnswer is a weighted-distance query result.
+type SSSPAnswer struct {
+	Dataset   string `json:"dataset"`
+	Src       int64  `json:"src"`
+	Target    int64  `json:"target"`
+	Reachable bool   `json:"reachable"`
+	// Dist is the exact weighted distance, -1 when unreachable.
+	Dist int64 `json:"dist"`
+	// Cached reports a result-cache hit.
+	Cached bool `json:"cached"`
+}
+
+// SSSP answers a weighted shortest-distance query. Weights are derived
+// deterministically from the dataset seed (graph.WithWeights), so
+// answers are stable across restarts. Results are cached per source.
+func (s *Server) SSSP(ctx context.Context, dsName string, src, target graph.VertexID) (*SSSPAnswer, error) {
+	d, err := s.dataset(dsName)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkVertex(src); err != nil {
+		return nil, err
+	}
+	if err := d.checkVertex(target); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", algo.ErrDeadlineExceeded, err)
+	}
+	d.weightedOnce.Do(func() {
+		d.weighted = graph.WithWeights(d.g, uint64(s.cfg.Seed))
+	})
+	res, cached := d.sssp.get(src)
+	if res == nil {
+		res = algo.SSSPDeltaStep(d.weighted, src, algo.GapOptions{Workers: s.cfg.Workers})
+		if !s.cfg.SkipValidate {
+			if err := algo.ValidateSSSP(d.weighted, src, res); err != nil {
+				return nil, fmt.Errorf("serve: SSSP certificate failed: %w", err)
+			}
+		}
+		d.sssp.put(src, res)
+	}
+	dist := res.Dist[target]
+	ans := &SSSPAnswer{Dataset: d.name, Src: int64(src), Target: int64(target), Cached: cached}
+	if dist < 0 || dist == int64(^uint64(0)>>1) { // unreachedW sentinel
+		ans.Dist = -1
+	} else {
+		ans.Reachable = true
+		ans.Dist = dist
+	}
+	return ans, nil
+}
+
+// StatsAnswer summarises a resident dataset.
+type StatsAnswer struct {
+	Dataset     string  `json:"dataset"`
+	Directed    bool    `json:"directed"`
+	Vertices    int     `json:"vertices"`
+	Edges       int64   `json:"edges"`
+	AvgDegree   float64 `json:"avg_degree"`
+	MaxDegree   int     `json:"max_degree"`
+	LinkDensity float64 `json:"link_density"`
+	// CacheEntries counts BFS trees currently resident in the result
+	// cache.
+	CacheEntries int `json:"cache_entries"`
+}
+
+// Stats reports structural stats for a resident dataset.
+func (s *Server) Stats(dsName string) (*StatsAnswer, error) {
+	d, err := s.dataset(dsName)
+	if err != nil {
+		return nil, err
+	}
+	return &StatsAnswer{
+		Dataset:      d.name,
+		Directed:     d.g.Directed(),
+		Vertices:     d.g.NumVertices(),
+		Edges:        d.g.NumEdges(),
+		AvgDegree:    d.g.AvgDegree(),
+		MaxDegree:    d.g.MaxDegree(),
+		LinkDensity:  d.g.LinkDensity(),
+		CacheEntries: d.batcher.cacheLen(),
+	}, nil
+}
+
+// Graph exposes a resident dataset's graph (read-only) — the load
+// generator uses it to pick query vertices.
+func (s *Server) Graph(dsName string) (*graph.Graph, error) {
+	d, err := s.dataset(dsName)
+	if err != nil {
+		return nil, err
+	}
+	return d.g, nil
+}
+
+// ssspCache is the bounded per-source SSSP result cache. Eviction is
+// map-order (effectively random) — fine for a cache whose hit path is
+// one lock + one lookup.
+type ssspCache struct {
+	mu  sync.RWMutex
+	cap int
+	m   map[graph.VertexID]*algo.SSSPResult
+}
+
+func newSSSPCache(cap int) *ssspCache {
+	return &ssspCache{cap: cap, m: make(map[graph.VertexID]*algo.SSSPResult)}
+}
+
+func (c *ssspCache) get(src graph.VertexID) (*algo.SSSPResult, bool) {
+	c.mu.RLock()
+	r := c.m[src]
+	c.mu.RUnlock()
+	return r, r != nil
+}
+
+func (c *ssspCache) put(src graph.VertexID, r *algo.SSSPResult) {
+	c.mu.Lock()
+	if len(c.m) >= c.cap {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[src] = r
+	c.mu.Unlock()
+}

@@ -9,6 +9,9 @@
 #                pair, plus the quality table.
 #   --gap        additionally run the GAP kernel equivalence tests under
 #                the race detector and the SSSP engine matrix.
+#   --serve      additionally run the serving gate: batch equivalence and
+#                handler tests under the race detector, the committed
+#                amortization gate, and a short 200-user loadtest smoke.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,13 +19,15 @@ cd "$(dirname "$0")/.."
 run_chaos=0
 run_partition=0
 run_gap=0
+run_serve=0
 for arg in "$@"; do
     case "$arg" in
     --chaos) run_chaos=1 ;;
     --partition) run_partition=1 ;;
     --gap) run_gap=1 ;;
+    --serve) run_serve=1 ;;
     *)
-        echo "usage: $0 [--chaos] [--partition] [--gap]" >&2
+        echo "usage: $0 [--chaos] [--partition] [--gap] [--serve]" >&2
         exit 2
         ;;
     esac
@@ -97,6 +102,14 @@ if [ "$run_gap" = 1 ]; then
         ./internal/pregelalgo/ ./internal/gasalgo/ ./internal/mralgo/ \
         ./internal/pactalgo/ ./internal/dbalgo/
     go test -run 'TestSSSPEquivalenceMatrix|TestGapBFSSpeedupGate' .
+fi
+
+if [ "$run_serve" = 1 ]; then
+    echo "== serving gate (batch equivalence + handlers under -race, amortization gate, loadtest smoke)"
+    go test -race -run 'BFSMultiSource' ./internal/algo/
+    go test -race ./internal/serve/
+    go test -run 'TestBatchSpeedupGate' .
+    go run ./cmd/graphbench loadtest -users 200 -duration 2s -arrival poisson
 fi
 
 echo "ok"

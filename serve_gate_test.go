@@ -1,0 +1,46 @@
+package graphbench
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// TestBatchSpeedupGate pins the serving PR's headline claim to the
+// committed baseline: a 64-lane batched multi-source BFS sweep
+// (BENCH_pr8.json, serve-bfs-batch64-dotaleague) must amortize to at
+// least 8x less work per query than running the solo
+// direction-optimizing BFS 64 times (serve-bfs-single-dotaleague).
+// The gate compares committed figures — both measured on the same
+// machine in the same bench-serve session — so it is deterministic in
+// CI; live re-measurement is bench-check's job.
+func TestBatchSpeedupGate(t *testing.T) {
+	entry := func(path, name string) float64 {
+		t.Helper()
+		bl, err := perf.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := bl.Benchmarks[name]
+		if rec == nil {
+			t.Fatalf("%s: no %q entry", path, name)
+		}
+		m := rec.After
+		if m == nil {
+			m = rec.Before
+		}
+		if m == nil || m.NsPerOp <= 0 {
+			t.Fatalf("%s: %q has no committed measurement", path, name)
+		}
+		return m.NsPerOp
+	}
+	single := entry("BENCH_pr8.json", "serve-bfs-single-dotaleague")
+	batch := entry("BENCH_pr8.json", "serve-bfs-batch64-dotaleague")
+	perQuery := batch / float64(perf.ServeBatchLanes)
+	amortization := single / perQuery
+	t.Logf("batched BFS: %.0f ns/sweep = %.0f ns/query vs solo %.0f ns/query = %.1fx amortization",
+		batch, perQuery, single, amortization)
+	if amortization < 8 {
+		t.Fatalf("committed per-query amortization %.2fx < 8x gate", amortization)
+	}
+}
