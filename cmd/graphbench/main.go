@@ -11,6 +11,7 @@
 //	graphbench [flags] serve [-addr HOST:PORT]
 //	graphbench [flags] loadtest [-users N -arrival poisson -duration 30s]
 //	graphbench bench-check [baseline.json ...]
+//	graphbench [flags] experiment [-out DIR] <spec.json|dir> ...
 //	graphbench [flags] all
 //
 // Flags:
@@ -29,6 +30,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/boundary"
@@ -153,6 +157,8 @@ func main() {
 			t.Rows = append(t.Rows, []string{e.Dataset, e.Algorithm, e.Status.String(), e.Reason})
 		}
 		emit(t)
+	case "experiment":
+		experimentCmd(args[1:], *cache)
 	case "serve":
 		serveCmd(args[1:], *cache, sess)
 	case "loadtest":
@@ -269,7 +275,19 @@ func main() {
 	case "bench-check":
 		files := args[1:]
 		if len(files) == 0 {
-			files = []string{"BENCH_pr2.json", "BENCH_pr3.json", "BENCH_pr6.json", "BENCH_pr7.json", "BENCH_pr8.json"}
+			// No explicit list: pick up every checked-in baseline, so a
+			// PR adding BENCH_prN.json is gated without editing this
+			// list.
+			var err error
+			files, err = filepath.Glob("BENCH_*.json")
+			if err != nil {
+				fatal("bench-check: %v", err)
+			}
+			sort.Strings(files)
+			if len(files) == 0 {
+				fatal("bench-check: no BENCH_*.json baselines found (and none given)")
+			}
+			fmt.Printf("bench-check: discovered %d baselines: %s\n", len(files), strings.Join(files, " "))
 		}
 		results, err := perf.Check(files)
 		if err != nil {
@@ -297,6 +315,7 @@ func main() {
 			}
 		}
 	default:
+		fmt.Fprintf(os.Stderr, "graphbench: unknown command %q\n\n", args[0])
 		usage()
 	}
 
@@ -420,6 +439,7 @@ func usage() {
   graphbench bench-gap <before|after> [file]
   graphbench bench-serve <before|after> [file]
   graphbench bench-check [baseline.json ...]
+  graphbench [flags] experiment [-out DIR -reps N -cold-reps N -max-cv X] <spec.json|dir> ...
   graphbench [flags] all
 
 flags of note:

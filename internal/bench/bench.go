@@ -133,6 +133,57 @@ func (h *Harness) runPlaced(platformName, alg, dataset string, hw cluster.Hardwa
 	return r
 }
 
+// FreshRun describes one uncached, repetition-grade execution for the
+// experiment driver (internal/experiment).
+type FreshRun struct {
+	Platform  string
+	Algorithm string
+	Dataset   string
+	HW        cluster.Hardware
+	// Partitioner/Shards pin an explicit placement; both zero keeps
+	// the engine's default layout.
+	Partitioner string
+	Shards      int
+	// Cold requests the cold leg: the dataset is regenerated outside
+	// both the in-memory and on-disk caches (the generation cost is
+	// part of the repetition, as a fresh process would pay it) and the
+	// engine must not run a discarded warm-up pass.
+	Cold bool
+}
+
+// RunFresh executes one repetition, bypassing the harness result
+// cache so every call performs real work — the property n-repetition
+// statistics depend on. Unknown platforms/datasets return an error
+// instead of panicking: the experiment driver validates specs up
+// front but must not crash mid-matrix.
+func (h *Harness) RunFresh(fr FreshRun) (*platform.Result, error) {
+	p, err := platform.ByName(fr.Platform)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := datagen.ByName(fr.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	var g *graph.Graph
+	if fr.Cold {
+		// Fresh generation, no snapshot cache: the run starts from
+		// nothing resident, like a first-ever execution on the cluster.
+		g = prof.GenerateScaled(h.cfg.Scale, h.cfg.Seed)
+	} else {
+		g = h.Graph(fr.Dataset)
+	}
+	params := algo.DefaultParams(h.cfg.Seed)
+	params.BFSSource = algo.PickSource(g, h.cfg.Seed)
+	r := p.Run(platform.Spec{
+		Algorithm: fr.Algorithm, Dataset: prof, G: g, HW: fr.HW,
+		Params: params, WarmCache: !fr.Cold, Cold: fr.Cold,
+		ScaleFactor: h.cfg.Scale, Obs: h.cfg.Obs,
+		Partitioner: fr.Partitioner, Shards: fr.Shards,
+	})
+	return r, nil
+}
+
 // ---- rendering -------------------------------------------------------
 
 // Table is a rendered result: a title, a header, rows, and notes.

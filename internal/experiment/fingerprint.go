@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/platform"
+)
+
+// Fingerprint is the environment record shipped with every bundle so
+// a number can always be traced back to the machine, toolchain, code
+// revision, and exact dataset bytes that produced it.
+type Fingerprint struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// CPUModel is the host CPU model string (/proc/cpuinfo), empty
+	// when unavailable.
+	CPUModel string `json:"cpu_model,omitempty"`
+	// GitSHA is the repository revision, empty outside a checkout.
+	GitSHA string `json:"git_sha,omitempty"`
+	// DatasetKeys are the content-addressed snapshot keys of every
+	// dataset in the spec at its scale and seed — two bundles with
+	// equal keys measured identical graphs. SSSP specs also carry the
+	// weighted-view keys.
+	DatasetKeys map[string]string `json:"dataset_keys"`
+}
+
+// Collect gathers the fingerprint for one spec. Every field degrades
+// to empty rather than failing: a bundle is never lost to a missing
+// /proc or git binary.
+func Collect(spec *Spec) Fingerprint {
+	fp := Fingerprint{
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		CPUModel:    cpuModel(),
+		GitSHA:      gitSHA(),
+		DatasetKeys: make(map[string]string),
+	}
+	wantsSSSP := false
+	for _, a := range spec.Algorithms {
+		if a == platform.SSSP {
+			wantsSSSP = true
+		}
+	}
+	for _, ds := range spec.Datasets {
+		fp.DatasetKeys[ds] = datagen.SnapshotKey(ds, spec.Scale, spec.Seed)
+		if wantsSSSP {
+			fp.DatasetKeys[ds+"+w"] = datagen.WeightedSnapshotKey(ds, spec.Scale, spec.Seed, platform.SSSPWeightSeed)
+		}
+	}
+	return fp
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok &&
+			strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSpec(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const validSpecJSON = `{
+  "name": "t",
+  "platforms": ["Giraph"],
+  "algorithms": ["BFS"],
+  "datasets": ["DotaLeague"],
+  "repetitions": 2
+}`
+
+func TestLoadValidSpecAppliesDefaults(t *testing.T) {
+	s, err := Load(writeSpec(t, "t.json", validSpecJSON))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if s.Scale != 1 || s.Seed != 42 || s.Nodes != 20 || s.Cores != 1 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+	if s.ColdRepetitions != 1 {
+		t.Errorf("absent cold_repetitions should default to 1, got %d", s.ColdRepetitions)
+	}
+	if got := len(s.Cells()); got != 1 {
+		t.Errorf("cells = %d, want 1", got)
+	}
+}
+
+func TestLoadExplicitZeroColdRepetitions(t *testing.T) {
+	body := strings.Replace(validSpecJSON, `"repetitions": 2`, `"repetitions": 2, "cold_repetitions": 0`, 1)
+	s, err := Load(writeSpec(t, "t.json", body))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if s.ColdRepetitions != 0 {
+		t.Errorf("explicit 0 must disable the cold leg, got %d", s.ColdRepetitions)
+	}
+}
+
+func TestLoadRejectsUnknownKeys(t *testing.T) {
+	body := strings.Replace(validSpecJSON, `"name": "t",`, `"name": "t", "algorithm": ["BFS"],`, 1)
+	_, err := Load(writeSpec(t, "t.json", body))
+	var se *SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SpecError for unknown key, got %v", err)
+	}
+	if !strings.Contains(se.Error(), "algorithm") {
+		t.Errorf("error does not name the unknown key: %v", se)
+	}
+	if se.File == "" {
+		t.Errorf("error does not carry the file: %v", se)
+	}
+}
+
+func TestLoadRejectsTrailingData(t *testing.T) {
+	_, err := Load(writeSpec(t, "t.json", validSpecJSON+`{"name":"second"}`))
+	var se *SpecError
+	if !errors.As(err, &se) || !strings.Contains(se.Msg, "trailing") {
+		t.Fatalf("want trailing-data *SpecError, got %v", err)
+	}
+}
+
+func TestValidateBadDimensions(t *testing.T) {
+	base := func() Spec {
+		s := defaultSpec()
+		s.Name = "t"
+		s.Platforms = []string{"Giraph"}
+		s.Algorithms = []string{"BFS"}
+		s.Datasets = []string{"DotaLeague"}
+		s.Repetitions = 2
+		return s
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		field  string
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }, "name"},
+		{"unknown platform", func(s *Spec) { s.Platforms = []string{"Spark"} }, "platforms"},
+		{"unknown algorithm", func(s *Spec) { s.Algorithms = []string{"PAGERANK"} }, "algorithms"},
+		{"unknown dataset", func(s *Spec) { s.Datasets = []string{"Twitter"} }, "datasets"},
+		{"unknown partitioner", func(s *Spec) { s.Placements = []Placement{{Partitioner: "metis"}} }, "placements"},
+		{"negative shards", func(s *Spec) { s.Placements = []Placement{{Shards: -1}} }, "placements"},
+		{"zero repetitions", func(s *Spec) { s.Repetitions = 0 }, "repetitions"},
+		{"empty platforms", func(s *Spec) { s.Platforms = nil }, "platforms"},
+		{"empty algorithms", func(s *Spec) { s.Algorithms = nil }, "algorithms"},
+		{"empty datasets", func(s *Spec) { s.Datasets = nil }, "datasets"},
+		{"zero nodes", func(s *Spec) { s.Nodes = 0 }, "nodes"},
+		{"negative cv ceiling", func(s *Spec) { s.CVCeiling = -0.5 }, "cv_ceiling"},
+	}
+	for _, c := range cases {
+		s := base()
+		c.mutate(&s)
+		err := s.Validate()
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: want *SpecError, got %v", c.name, err)
+			continue
+		}
+		if se.Field != c.field {
+			t.Errorf("%s: error field = %q, want %q (%v)", c.name, se.Field, c.field, se)
+		}
+	}
+}
+
+func TestCellsCrossProduct(t *testing.T) {
+	s := defaultSpec()
+	s.Name = "t"
+	s.Platforms = []string{"Giraph", "GraphLab"}
+	s.Algorithms = []string{"BFS", "CONN", "STATS"}
+	s.Datasets = []string{"DotaLeague", "KGS"}
+	s.Placements = []Placement{{}, {Partitioner: "hash", Shards: 4}}
+	s.Repetitions = 1
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := s.Cells()
+	if len(cells) != 2*3*2*2 {
+		t.Fatalf("cells = %d, want 24", len(cells))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cells {
+		if seen[c.String()] {
+			t.Fatalf("duplicate cell %s", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+func TestLoadAllDirectory(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []string{"b.json", "a.json"} {
+		body := strings.Replace(validSpecJSON, `"name": "t"`, `"name": "`+n+`"`, 1)
+		if err := os.WriteFile(filepath.Join(dir, n), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	specs, err := LoadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Name != "a.json" || specs[1].Name != "b.json" {
+		t.Fatalf("LoadAll order/content wrong: %d specs", len(specs))
+	}
+	if _, err := LoadAll(t.TempDir()); err == nil {
+		t.Error("LoadAll of an empty directory should fail")
+	}
+}
+
+// TestCommittedSpecs keeps the checked-in experiment specs loadable:
+// a bad edit to experiments/*.json fails here, not in CI's smoke run.
+func TestCommittedSpecs(t *testing.T) {
+	specs, err := LoadAll(filepath.Join("..", "..", "experiments"))
+	if err != nil {
+		t.Fatalf("committed specs do not load: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, s := range specs {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"smoke", "paper-core"} {
+		if !names[want] {
+			t.Errorf("missing committed spec %q", want)
+		}
+	}
+}

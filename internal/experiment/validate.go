@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"repro/internal/algo"
+	"repro/internal/bench"
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// validator checks each cell's algorithm output against the
+// internal/algo sequential references, Graphalytics-style: structural
+// certificates where they exist (BFS parent/level rules, the SSSP
+// triangle-inequality certificate — both O(V+E)), exact reference
+// equivalence for the deterministic label/evolution algorithms, and
+// epsilon equivalence for the one floating-point aggregate (AvgLCC).
+// References are computed once per dataset and reused across cells.
+type validator struct {
+	h    *bench.Harness
+	seed int64
+
+	conn     map[string][]graph.VertexID
+	cd       map[string]algo.CDResult
+	stats    map[string]algo.StatsResult
+	evo      map[string]algo.EVOResult
+	weighted map[string]*graph.Graph
+}
+
+// outputsEqual is the cross-repetition determinism check: every
+// repetition of a cell must produce the identical result value.
+func outputsEqual(a, b any) bool { return reflect.DeepEqual(a, b) }
+
+func newValidator(h *bench.Harness, seed int64) *validator {
+	return &validator{
+		h: h, seed: seed,
+		conn:     make(map[string][]graph.VertexID),
+		cd:       make(map[string]algo.CDResult),
+		stats:    make(map[string]algo.StatsResult),
+		evo:      make(map[string]algo.EVOResult),
+		weighted: make(map[string]*graph.Graph),
+	}
+}
+
+func (v *validator) params() algo.Params { return algo.DefaultParams(v.seed) }
+
+func (v *validator) weightedGraph(dataset string) *graph.Graph {
+	if wg, ok := v.weighted[dataset]; ok {
+		return wg
+	}
+	g := v.h.Graph(dataset)
+	wg := g
+	if !g.Weighted() {
+		wg = graph.WithWeights(g, platform.SSSPWeightSeed)
+	}
+	v.weighted[dataset] = wg
+	return wg
+}
+
+// check validates one cell's output. nil means the output satisfies
+// the algorithm's equivalence rules against the reference.
+func (v *validator) check(c Cell, out any) error {
+	g := v.h.Graph(c.Dataset)
+	src := algo.PickSource(g, v.seed)
+	switch r := out.(type) {
+	case algo.BFSResult:
+		// Graph500-style structural certificate: cheaper than a
+		// reference traversal and strictly stronger than comparing
+		// level arrays computed the same way.
+		return algo.ValidateBFS(g, src, &r)
+	case algo.SSSPResult:
+		return algo.ValidateSSSP(v.weightedGraph(c.Dataset), src, &r)
+	case algo.ConnResult:
+		want, ok := v.conn[c.Dataset]
+		if !ok {
+			want = g.ConnectedComponents()
+			v.conn[c.Dataset] = want
+		}
+		if !reflect.DeepEqual(r.Labels, want) {
+			return fmt.Errorf("CONN labels differ from the component-minimum reference")
+		}
+		if n := algo.CountLabels(want); r.Components != n {
+			return fmt.Errorf("CONN components = %d, reference has %d", r.Components, n)
+		}
+		return nil
+	case algo.CDResult:
+		want, ok := v.cd[c.Dataset]
+		if !ok {
+			want = algo.RefCD(g, v.params())
+			v.cd[c.Dataset] = want
+		}
+		if !reflect.DeepEqual(r.Labels, want.Labels) {
+			return fmt.Errorf("CD labels differ from the reference fixed point")
+		}
+		if r.Communities != want.Communities {
+			return fmt.Errorf("CD communities = %d, reference has %d", r.Communities, want.Communities)
+		}
+		return nil
+	case algo.StatsResult:
+		want, ok := v.stats[c.Dataset]
+		if !ok {
+			want = algo.RefStats(g)
+			v.stats[c.Dataset] = want
+		}
+		if r.Vertices != want.Vertices || r.Edges != want.Edges {
+			return fmt.Errorf("STATS dimensions %d/%d, reference %d/%d",
+				r.Vertices, r.Edges, want.Vertices, want.Edges)
+		}
+		if math.Abs(r.AvgLCC-want.AvgLCC) > 1e-6 {
+			return fmt.Errorf("STATS AvgLCC = %v, reference %v", r.AvgLCC, want.AvgLCC)
+		}
+		return nil
+	case algo.EVOResult:
+		want, ok := v.evo[c.Dataset]
+		if !ok {
+			want = algo.RefEVO(g, v.params())
+			v.evo[c.Dataset] = want
+		}
+		if r.NewVertices != want.NewVertices || !reflect.DeepEqual(r.Edges, want.Edges) {
+			return fmt.Errorf("EVO growth differs from the reference forest-fire burn")
+		}
+		return nil
+	}
+	return fmt.Errorf("no validation rule for output type %T", out)
+}

@@ -132,6 +132,15 @@ func (db *DB) IngestSeconds() float64 {
 	return v*perVertex + e*perEdge + commits*perCommit
 }
 
+// ResetCaches evicts every resident record, returning the database to
+// its just-opened cold state without re-ingesting. The experiment
+// driver's cold leg uses it to guarantee a cold first touch on a DB
+// that earlier repetitions may have warmed.
+func (db *DB) ResetCaches() {
+	clear(db.residentNode)
+	clear(db.residentAdj)
+}
+
 // Run is one algorithm execution session over the database, tracking
 // cache behaviour and I/O.
 type Run struct {

@@ -200,3 +200,36 @@ func TestOpenZeroConfigUsesDefaults(t *testing.T) {
 		t.Fatalf("cfg = %+v", db.cfg)
 	}
 }
+
+func TestResetCachesRestoresColdBehaviour(t *testing.T) {
+	g := ring(100)
+	db := Open(g, DefaultConfig())
+
+	cold := db.NewRun()
+	for v := graph.VertexID(0); v < 100; v++ {
+		cold.Neighbors(v)
+	}
+	if cold.DiskBytes == 0 {
+		t.Fatal("cold run should hit disk")
+	}
+
+	hot := db.NewRun()
+	for v := graph.VertexID(0); v < 100; v++ {
+		hot.Neighbors(v)
+	}
+	if hot.DiskBytes != 0 {
+		t.Fatalf("hot run hit disk: %d bytes", hot.DiskBytes)
+	}
+
+	// Evicting everything must reproduce the cold run exactly — this
+	// is what the experiment driver's cold leg relies on.
+	db.ResetCaches()
+	again := db.NewRun()
+	for v := graph.VertexID(0); v < 100; v++ {
+		again.Neighbors(v)
+	}
+	if again.DiskBytes != cold.DiskBytes || again.Misses != cold.Misses {
+		t.Fatalf("reset run disk=%d misses=%d, cold run disk=%d misses=%d",
+			again.DiskBytes, again.Misses, cold.DiskBytes, cold.Misses)
+	}
+}

@@ -92,6 +92,12 @@ type Spec struct {
 	// WarmCache requests a hot-cache run (Neo4j only): the cold pass
 	// is executed first and discarded, as the paper does.
 	WarmCache bool
+	// Cold forces a cold-cache run even when WarmCache is set: no
+	// engine may execute a discarded warm-up pass first. The
+	// experiment driver (internal/experiment) sets it on the cold leg
+	// of every cell, generalising the graphdb cold/hot-cache split to
+	// all engines.
+	Cold bool
 	// Obs, when non-nil, is the observability session the run's engine
 	// reports real spans and counters into (see internal/obs).
 	Obs *obs.Session
@@ -722,7 +728,7 @@ func (p neo4jPlatform) Run(spec Spec) *Result {
 		return nil, fmt.Errorf("unknown algorithm %q", spec.Algorithm)
 	}
 
-	if spec.WarmCache {
+	if spec.WarmCache && !spec.Cold {
 		// Cold pass to fill the caches, discarded (the paper reports
 		// hot-cache numbers in Figure 1).
 		if _, err := run(&cluster.ExecutionProfile{}); err != nil {

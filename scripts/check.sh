@@ -12,6 +12,10 @@
 #   --serve      additionally run the serving gate: batch equivalence and
 #                handler tests under the race detector, the committed
 #                amortization gate, and a short 200-user loadtest smoke.
+#   --experiment additionally mirror CI's experiment gate locally: the
+#                experiment package tests plus a full smoke-spec run
+#                (every cell output-validated, CV-gated) into a
+#                throwaway bundle directory.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,14 +24,16 @@ run_chaos=0
 run_partition=0
 run_gap=0
 run_serve=0
+run_experiment=0
 for arg in "$@"; do
     case "$arg" in
     --chaos) run_chaos=1 ;;
     --partition) run_partition=1 ;;
     --gap) run_gap=1 ;;
     --serve) run_serve=1 ;;
+    --experiment) run_experiment=1 ;;
     *)
-        echo "usage: $0 [--chaos] [--partition] [--gap] [--serve]" >&2
+        echo "usage: $0 [--chaos] [--partition] [--gap] [--serve] [--experiment]" >&2
         exit 2
         ;;
     esac
@@ -110,6 +116,16 @@ if [ "$run_serve" = 1 ]; then
     go test -race ./internal/serve/
     go test -run 'TestBatchSpeedupGate' .
     go run ./cmd/graphbench loadtest -users 200 -duration 2s -arrival poisson
+fi
+
+if [ "$run_experiment" = 1 ]; then
+    echo "== experiment gate (spec/driver tests + validated smoke run)"
+    go test ./internal/experiment/ ./internal/perf/
+    bundle=$(mktemp -d)
+    trap 'rm -rf "$bundle"' EXIT
+    go run ./cmd/graphbench experiment experiments/smoke.json -out "$bundle"
+    echo "-- bundle written to $bundle:"
+    ls "$bundle"
 fi
 
 echo "ok"
