@@ -13,6 +13,28 @@ import (
 // every spec, execute its run matrix with n-repetition statistics and
 // output validation, write one report bundle per spec, and exit
 // non-zero if any cell is INVALID or any leg breaches the CV ceiling.
+// experimentDiffCmd compares two report bundles' results.json files:
+// `graphbench experiment-diff a/results.json b/results.json`. Exits
+// non-zero when a cell's status or validation changed, or a projected
+// job time moved beyond the noise allowance either bundle recorded
+// (max of the two wall-clock CVs, floor 1%).
+func experimentDiffCmd(aPath, bPath string) {
+	a, err := experiment.LoadResults(aPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	b, err := experiment.LoadResults(bPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	rep := experiment.DiffResults(a, b)
+	rep.PathA, rep.PathB = aPath, bPath
+	fmt.Print(rep)
+	if rep.Flagged() {
+		fatal("experiment-diff: results moved beyond recorded noise")
+	}
+}
+
 func experimentCmd(args []string, cacheDir string) {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	fs.Usage = func() {

@@ -10,6 +10,8 @@
 //	graphbench [flags] curves <platform> [measured]
 //	graphbench [flags] serve [-addr HOST:PORT]
 //	graphbench [flags] loadtest [-users N -arrival poisson -duration 30s]
+//	graphbench [flags] stream [-mix 90/10,70/30 -chaos]
+//	graphbench experiment-diff <a/results.json> <b/results.json>
 //	graphbench bench-check [baseline.json ...]
 //	graphbench [flags] experiment [-out DIR] <spec.json|dir> ...
 //	graphbench [flags] all
@@ -161,6 +163,11 @@ func main() {
 		experimentCmd(args[1:], *cache)
 	case "serve":
 		serveCmd(args[1:], *cache, sess)
+	case "stream":
+		streamCmd(args[1:])
+	case "experiment-diff":
+		need(args, 3)
+		experimentDiffCmd(args[1], args[2])
 	case "loadtest":
 		// Two forms share the verb: the flag-driven serving loadtest
 		// (`loadtest -users 200 -arrival poisson`) and the legacy
@@ -430,6 +437,7 @@ func usage() {
   graphbench [flags] loadtest <platform> <algorithm> <dataset>
   graphbench [flags] loadtest [-users N -duration D -arrival closed|poisson -mix bfs|mixed]
   graphbench [flags] serve [-addr HOST:PORT -datasets LIST -window D -lanes N]
+  graphbench stream [-mix 90/10,70/30 -users N -batches N] [-chaos -chaos-seeds 1,2,3]
   graphbench [flags] predict <platform> <algorithm> <dataset>
   graphbench [flags] partition-quality <dataset>
   graphbench [flags] partition-study
@@ -440,6 +448,7 @@ func usage() {
   graphbench bench-serve <before|after> [file]
   graphbench bench-check [baseline.json ...]
   graphbench [flags] experiment [-out DIR -reps N -cold-reps N -max-cv X] <spec.json|dir> ...
+  graphbench experiment-diff <a/results.json> <b/results.json>
   graphbench [flags] all
 
 flags of note:

@@ -1,0 +1,102 @@
+// Streaming subcommand: `graphbench stream` drives an in-process
+// serving daemon with a concurrent read/write fleet over a seeded
+// update stream, sweeping read/write mixes, and verifies that the
+// final evolved graph is byte-identical to a clean sequential replay.
+// With -chaos the stream is instead replayed through the deterministic
+// lossy transport (drops, duplicates, reordering) for each seed,
+// proving exactly-once application end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// streamCmd runs the streaming read/write sweep (or its chaos form)
+// and exits non-zero unless every row MATCHes the clean replay.
+func streamCmd(args []string) {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	dataset := fs.String("dataset", "DotaLeague", "dataset to evolve")
+	scale := fs.Int("scale", 8, "down-scaling factor of the resident dataset")
+	seed := fs.Int64("seed", 42, "generation seed (also seeds the update stream)")
+	users := fs.Int("users", 64, "concurrent closed-loop users per mix")
+	ops := fs.Int("ops", 64, "operations per user")
+	batches := fs.Int("batches", 1024, "update batches in the stream")
+	batchSize := fs.Int("batch-size", 16, "edge operations per batch")
+	deleteFrac := fs.Float64("delete-frac", 0.3, "fraction of operations that delete edges")
+	compactEvery := fs.Int("compact-every", 8, "compact after this many applied batches (<0 disables)")
+	workers := fs.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	mixes := fs.String("mix", "90/10,70/30,50/50", "comma-separated read/write percentage mixes")
+	chaos := fs.Bool("chaos", false, "replay the stream through the lossy transport instead of the user fleet")
+	chaosSeeds := fs.String("chaos-seeds", "1,2,3", "comma-separated fault-plan seeds for -chaos")
+	fs.Parse(args)
+
+	cfg := serve.StreamConfig{
+		Dataset:      *dataset,
+		Scale:        *scale,
+		Seed:         *seed,
+		Mixes:        parseMixes(*mixes),
+		Users:        *users,
+		OpsPerUser:   *ops,
+		Batches:      *batches,
+		BatchSize:    *batchSize,
+		DeleteFrac:   *deleteFrac,
+		CompactEvery: *compactEvery,
+		Workers:      *workers,
+	}
+
+	if *chaos {
+		rep, err := serve.RunStreamChaos(cfg, parseSeeds(*chaosSeeds))
+		if err != nil {
+			fatal("stream: %v", err)
+		}
+		fmt.Print(rep)
+		if !rep.Ok() {
+			fatal("stream: chaos replay diverged from the clean replay")
+		}
+		return
+	}
+	rep, err := serve.RunStream(cfg)
+	if err != nil {
+		fatal("stream: %v", err)
+	}
+	fmt.Print(rep)
+	if !rep.Ok() {
+		fatal("stream: a mix failed the byte-identical equivalence gate")
+	}
+}
+
+// parseMixes turns "90/10,70/30" into StreamMix values.
+func parseMixes(s string) []serve.StreamMix {
+	var out []serve.StreamMix
+	for _, part := range splitList(s) {
+		r, w, ok := strings.Cut(part, "/")
+		if !ok {
+			fatal("stream: mix %q is not of the form READ/WRITE", part)
+		}
+		read, err1 := strconv.Atoi(strings.TrimSpace(r))
+		write, err2 := strconv.Atoi(strings.TrimSpace(w))
+		if err1 != nil || err2 != nil {
+			fatal("stream: mix %q is not numeric", part)
+		}
+		out = append(out, serve.StreamMix{Read: read, Write: write})
+	}
+	return out
+}
+
+// parseSeeds turns "1,2,3" into fault-plan seeds.
+func parseSeeds(s string) []int64 {
+	var out []int64
+	for _, part := range splitList(s) {
+		n, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			fatal("stream: bad seed %q", part)
+		}
+		out = append(out, n)
+	}
+	return out
+}

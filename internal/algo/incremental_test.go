@@ -1,0 +1,222 @@
+package algo_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/datagen"
+	"repro/internal/evolve"
+	"repro/internal/graph"
+)
+
+// incrementalWorkers is the acceptance-criteria worker matrix: the
+// incremental results must be bitwise equal to the full kernels at
+// EVERY worker count, which holds because the kernels themselves are
+// worker-count invariant and the incremental maintenance replicates
+// their exact accumulation order.
+var incrementalWorkers = []int{1, 4, 8}
+
+func streamGraph(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	p, err := datagen.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.GenerateScaled(64, 42)
+}
+
+// TestIncrementalEquivalenceMatrix is the stream CI gate's core: drive
+// a seeded update stream, compact periodically, and at EVERY
+// compaction point check both incremental algorithms byte-identical
+// against full recomputation over the compacted graph, across the
+// worker matrix.
+func TestIncrementalEquivalenceMatrix(t *testing.T) {
+	const (
+		iters        = 20
+		damping      = 0.85
+		compactEvery = 6
+	)
+	for _, name := range []string{"KGS", "Citation"} {
+		t.Run(name, func(t *testing.T) {
+			g := streamGraph(t, name)
+			batches := datagen.UpdateStream(g, 101, 30, 12, 0.3)
+
+			m := evolve.NewMutable(g)
+			cc := algo.NewIncrementalCC(g)
+			pr := algo.NewDeltaPageRank(m.Snapshot(), iters, damping)
+
+			compactions := 0
+			for i, b := range batches {
+				res, err := m.Submit(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, ab := range res.Applied {
+					cc.Apply(ab.Batch.Ops)
+					pr.Apply(ab.Batch.Ops, ab.After)
+				}
+				if (i+1)%compactEvery != 0 {
+					continue
+				}
+				snap := m.Compact()
+				compactions++
+				full := snap.Base()
+
+				labels := cc.Labels(snap)
+				if err := algo.CheckLabelsEqual(labels, full.ConnectedComponents()); err != nil {
+					t.Fatalf("compaction %d (epoch %d): incremental CC diverged: %v",
+						compactions, snap.Epoch(), err)
+				}
+				ranks := pr.Ranks()
+				for _, w := range incrementalWorkers {
+					want := algo.PageRankPull(full, iters, damping, algo.GapOptions{Workers: w})
+					if err := algo.CheckRanksEqual(ranks, want.Ranks); err != nil {
+						t.Fatalf("compaction %d (epoch %d) workers=%d: delta-PageRank diverged: %v",
+							compactions, snap.Epoch(), w, err)
+					}
+					for vi := range ranks {
+						if math.Float64bits(ranks[vi]) != math.Float64bits(want.Ranks[vi]) {
+							t.Fatalf("compaction %d workers=%d: rank[%d] not bitwise equal",
+								compactions, w, vi)
+						}
+					}
+				}
+			}
+			if compactions != len(batches)/compactEvery {
+				t.Fatalf("ran %d compactions, want %d", compactions, len(batches)/compactEvery)
+			}
+			t.Logf("%s: %d compactions, PR recomputed %d vertex-levels (full tableau would be %d), %d full rebuilds",
+				name, compactions, pr.Recomputed,
+				int64(len(batches)+1)*int64(iters)*int64(g.NumVertices()), pr.FullRebuilds)
+		})
+	}
+}
+
+// TestIncrementalCCInsertOnly: pure insertions never trigger the
+// rebuild fallback.
+func TestIncrementalCCInsertOnly(t *testing.T) {
+	g := streamGraph(t, "KGS")
+	batches := datagen.UpdateStream(g, 7, 20, 8, 0) // deleteFrac 0
+	m := evolve.NewMutable(g)
+	cc := algo.NewIncrementalCC(g)
+	for _, b := range batches {
+		res, err := m.Submit(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ab := range res.Applied {
+			cc.Apply(ab.Batch.Ops)
+		}
+		// Equivalence must hold at every epoch, not just compaction
+		// points (Labels materialises against the live snapshot).
+		labels := cc.Labels(ab(res))
+		if err := algo.CheckLabelsEqual(labels, ab(res).Materialize().ConnectedComponents()); err != nil {
+			t.Fatalf("epoch %d: %v", res.Epoch, err)
+		}
+	}
+	if cc.Rebuilds != 0 {
+		t.Fatalf("insert-only stream triggered %d rebuilds", cc.Rebuilds)
+	}
+	if cc.Deletions != 0 {
+		t.Fatalf("deleteFrac=0 stream recorded %d deletions", cc.Deletions)
+	}
+}
+
+func ab(res evolve.SubmitResult) *evolve.Snapshot {
+	return res.Applied[len(res.Applied)-1].After
+}
+
+// TestIncrementalCCDeletionFallback: a deletion dirties the structure
+// and the next Labels call rebuilds — and is still exact.
+func TestIncrementalCCDeletionFallback(t *testing.T) {
+	g := streamGraph(t, "Citation")
+	batches := datagen.UpdateStream(g, 11, 12, 8, 0.5)
+	m := evolve.NewMutable(g)
+	cc := algo.NewIncrementalCC(g)
+	sawDeletion := false
+	for _, b := range batches {
+		res, err := m.Submit(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range b.Ops {
+			if op.Del {
+				sawDeletion = true
+			}
+		}
+		for _, abb := range res.Applied {
+			cc.Apply(abb.Batch.Ops)
+		}
+		snap := ab(res)
+		if err := algo.CheckLabelsEqual(cc.Labels(snap), snap.Materialize().ConnectedComponents()); err != nil {
+			t.Fatalf("epoch %d: %v", res.Epoch, err)
+		}
+	}
+	if !sawDeletion {
+		t.Fatal("stream produced no deletions; fallback untested")
+	}
+	if cc.Rebuilds == 0 {
+		t.Fatal("deletions never triggered the rebuild fallback")
+	}
+}
+
+// TestDeltaPageRankDanglingFlip forces the hard path: deleting a
+// vertex's entire out-list flips it dangling, which moves the shared
+// dangling term and every rank at the next level — the full-rebuild
+// fallback must still be bitwise exact.
+func TestDeltaPageRankDanglingFlip(t *testing.T) {
+	// A small directed graph where vertex 0 has exactly one out-arc.
+	b := graph.NewBuilder(16, true)
+	b.AddEdge(0, 1)
+	for i := 1; i < 15; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i*7)%16))
+	}
+	g := b.Build()
+
+	m := evolve.NewMutable(g)
+	pr := algo.NewDeltaPageRank(m.Snapshot(), 10, 0.85)
+	res, err := m.Submit(evolve.Batch{Seq: 1, Ops: []evolve.Op{evolve.Delete(0, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Applied[0].After
+	if snap.OutDegree(0) != 0 {
+		t.Fatal("vertex 0 should be dangling now")
+	}
+	pr.Apply(res.Applied[0].Batch.Ops, snap)
+	if pr.FullRebuilds == 0 {
+		t.Fatal("dangling flip did not trigger the share fallback")
+	}
+	want := algo.PageRankPull(snap.Materialize(), 10, 0.85, algo.GapOptions{})
+	if err := algo.CheckRanksEqual(pr.Ranks(), want.Ranks); err != nil {
+		t.Fatalf("after dangling flip: %v", err)
+	}
+}
+
+// TestDeltaPageRankSparseWins: for a single small batch on a larger
+// graph, the touched region must stay well below a full tableau
+// rebuild — the perf property that makes the incremental path worth
+// having.
+func TestDeltaPageRankSparseWins(t *testing.T) {
+	g := streamGraph(t, "KGS")
+	m := evolve.NewMutable(g)
+	pr := algo.NewDeltaPageRank(m.Snapshot(), 20, 0.85)
+	built := pr.Recomputed // full tableau cost
+
+	res, err := m.Submit(evolve.Batch{Seq: 1, Ops: datagen.UpdateStream(g, 3, 1, 2, 0)[0].Ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Apply(res.Applied[0].Batch.Ops, res.Applied[0].After)
+	delta := pr.Recomputed - built
+	if pr.FullRebuilds == 0 && delta >= built {
+		t.Fatalf("incremental apply recomputed %d vertex-levels, full build is %d", delta, built)
+	}
+	want := algo.PageRankPull(res.Applied[0].After.Materialize(), 20, 0.85, algo.GapOptions{Workers: 4})
+	if err := algo.CheckRanksEqual(pr.Ranks(), want.Ranks); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("single batch touched %d vertex-levels vs %d full", delta, built)
+}

@@ -1,0 +1,131 @@
+package datagen
+
+// Seeded update-stream driver for the evolving-graph subsystem: a
+// deterministic sequence of edge-mutation batches derived from a
+// generated dataset. The paper's EVO class only grows a forest-fire
+// graph offline; this driver produces the live mutation traffic —
+// interleaved insertions and deletions against a served base graph —
+// that the stream CI gate replays. Determinism is the point: the same
+// (graph, seed, shape) arguments always yield the same batch list, so
+// incremental-vs-full equivalence checks and chaos-delivery MATCH
+// verdicts are reproducible.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/evolve"
+	"repro/internal/graph"
+)
+
+// streamKey canonicalises an edge for presence tracking (undirected
+// edges are stored once, low endpoint first).
+type streamKey struct {
+	u, v graph.VertexID
+}
+
+// UpdateStream derives batches sequenced 1..batches, each holding
+// batchSize edge mutations: deletions of currently present edges with
+// probability deleteFrac, insertions of currently absent non-loop
+// edges otherwise. Deletions target both base edges and edges the
+// stream itself inserted; an edge may be re-inserted after deletion.
+// Every batch is valid against the evolving graph it is meant for:
+// vertices in range, no self-loops.
+func UpdateStream(g *graph.Graph, seed int64, batches, batchSize int, deleteFrac float64) []evolve.Batch {
+	n := g.NumVertices()
+	if n < 2 || batches <= 0 || batchSize <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x57ea3))
+
+	inserted := make(map[streamKey]struct{})
+	deleted := make(map[streamKey]struct{})
+	var insertedList []streamKey
+
+	canon := func(u, v graph.VertexID) streamKey {
+		if !g.Directed() && u > v {
+			u, v = v, u
+		}
+		return streamKey{u, v}
+	}
+	present := func(u, v graph.VertexID) bool {
+		k := canon(u, v)
+		if _, ok := deleted[k]; ok {
+			return false
+		}
+		if _, ok := inserted[k]; ok {
+			return true
+		}
+		return g.HasEdge(u, v)
+	}
+
+	out := make([]evolve.Batch, 0, batches)
+	for bi := 0; bi < batches; bi++ {
+		b := evolve.Batch{Seq: uint64(bi + 1), Ops: make([]evolve.Op, 0, batchSize)}
+		for len(b.Ops) < batchSize {
+			if rng.Float64() < deleteFrac {
+				if op, ok := pickDeletion(g, rng, insertedList, present); ok {
+					k := canon(op.Src, op.Dst)
+					delete(inserted, k)
+					deleted[k] = struct{}{}
+					b.Ops = append(b.Ops, op)
+					continue
+				}
+				// Nothing deletable found in budget: insert instead so
+				// the batch always fills.
+			}
+			u := graph.VertexID(rng.Intn(n))
+			v := graph.VertexID(rng.Intn(n))
+			if u == v || present(u, v) {
+				continue
+			}
+			k := canon(u, v)
+			delete(deleted, k)
+			inserted[k] = struct{}{}
+			insertedList = append(insertedList, k)
+			b.Ops = append(b.Ops, evolve.Insert(u, v))
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// pickDeletion finds a currently present edge within a bounded number
+// of random probes: half the time among stream-inserted edges (so the
+// insert→delete→re-insert cycle is exercised), otherwise among base
+// edges via a random vertex's out-list.
+func pickDeletion(g *graph.Graph, rng *rand.Rand,
+	insertedList []streamKey, present func(u, v graph.VertexID) bool) (evolve.Op, bool) {
+	n := g.NumVertices()
+	for try := 0; try < 32; try++ {
+		if len(insertedList) > 0 && rng.Intn(2) == 0 {
+			k := insertedList[rng.Intn(len(insertedList))]
+			if present(k.u, k.v) {
+				return evolve.Delete(k.u, k.v), true
+			}
+			continue
+		}
+		u := graph.VertexID(rng.Intn(n))
+		deg := g.OutDegree(u)
+		if deg == 0 {
+			continue
+		}
+		v := g.Out(u)[rng.Intn(deg)]
+		if u == v || !present(u, v) {
+			continue
+		}
+		return evolve.Delete(u, v), true
+	}
+	return evolve.Op{}, false
+}
+
+// EvolvedSnapshotKey is the cache file name for a compacted
+// evolving-graph snapshot at the given epoch: the standard snapshot
+// key extended with the epoch, so compaction points of one serving
+// run never collide with each other or with the pristine dataset.
+// Like SnapshotKey it folds in both format versions, so a generator
+// or GCSR layout bump invalidates stale entries.
+func EvolvedSnapshotKey(name string, factor int, seed int64, epoch uint64) string {
+	return fmt.Sprintf("%s_f%d_s%d_g%d_b%d_e%d.gcsr",
+		name, factor, seed, generatorVersion, graph.BinaryVersion, epoch)
+}

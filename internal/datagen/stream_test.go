@@ -1,0 +1,126 @@
+package datagen_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/evolve"
+	"repro/internal/graph"
+)
+
+func streamBase(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	p, err := datagen.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.GenerateScaled(64, 42)
+}
+
+func TestUpdateStreamDeterministic(t *testing.T) {
+	g := streamBase(t, "KGS")
+	a := datagen.UpdateStream(g, 13, 10, 16, 0.25)
+	b := datagen.UpdateStream(g, 13, 10, 16, 0.25)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (graph, seed, shape) produced different streams")
+	}
+	c := datagen.UpdateStream(g, 14, 10, 16, 0.25)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestUpdateStreamShapeAndValidity: sequencing, sizes, vertex ranges,
+// no self-loops, and every op valid against the evolving state it is
+// applied to (inserts absent edges, deletes present ones).
+func TestUpdateStreamShapeAndValidity(t *testing.T) {
+	for _, name := range []string{"KGS", "Citation"} {
+		t.Run(name, func(t *testing.T) {
+			g := streamBase(t, name)
+			n := graph.VertexID(g.NumVertices())
+			batches := datagen.UpdateStream(g, 5, 12, 8, 0.4)
+			if len(batches) != 12 {
+				t.Fatalf("got %d batches, want 12", len(batches))
+			}
+			m := evolve.NewMutable(g)
+			deletions := 0
+			for i, b := range batches {
+				if b.Seq != uint64(i+1) {
+					t.Fatalf("batch %d has Seq %d", i, b.Seq)
+				}
+				if len(b.Ops) != 8 {
+					t.Fatalf("batch %d has %d ops, want 8", i, len(b.Ops))
+				}
+				// Op validity is against the evolving state INCLUDING
+				// earlier ops of the same batch (a batch may insert an
+				// edge and then delete it), so track an in-batch diff
+				// over the pre-batch snapshot.
+				snap := m.Snapshot()
+				diff := make(map[[2]graph.VertexID]bool)
+				presentNow := func(u, v graph.VertexID) bool {
+					if p, ok := diff[[2]graph.VertexID{u, v}]; ok {
+						return p
+					}
+					return snap.HasEdge(u, v)
+				}
+				setDiff := func(u, v graph.VertexID, p bool) {
+					diff[[2]graph.VertexID{u, v}] = p
+					if !g.Directed() {
+						diff[[2]graph.VertexID{v, u}] = p
+					}
+				}
+				for _, op := range b.Ops {
+					if op.Src == op.Dst {
+						t.Fatalf("batch %d: self-loop %v", i, op)
+					}
+					if op.Src < 0 || op.Src >= n || op.Dst < 0 || op.Dst >= n {
+						t.Fatalf("batch %d: out-of-range op %v", i, op)
+					}
+					if op.Del != presentNow(op.Src, op.Dst) {
+						t.Fatalf("batch %d: op %v not valid against live state (del=%v, present=%v)",
+							i, op, op.Del, presentNow(op.Src, op.Dst))
+					}
+					setDiff(op.Src, op.Dst, !op.Del)
+					if op.Del {
+						deletions++
+					}
+				}
+				if _, err := m.Submit(b); err != nil {
+					t.Fatalf("batch %d: %v", i, err)
+				}
+			}
+			if deletions == 0 {
+				t.Fatal("deleteFrac=0.4 stream produced no deletions")
+			}
+		})
+	}
+}
+
+func TestUpdateStreamDegenerate(t *testing.T) {
+	g := streamBase(t, "KGS")
+	if got := datagen.UpdateStream(g, 1, 0, 8, 0.5); got != nil {
+		t.Fatal("zero batches should yield nil")
+	}
+	if got := datagen.UpdateStream(g, 1, 4, 0, 0.5); got != nil {
+		t.Fatal("zero batch size should yield nil")
+	}
+	tiny := graph.NewBuilder(1, false).Build()
+	if got := datagen.UpdateStream(tiny, 1, 4, 4, 0.5); got != nil {
+		t.Fatal("single-vertex graph should yield nil (no non-loop edges exist)")
+	}
+}
+
+func TestEvolvedSnapshotKey(t *testing.T) {
+	base := datagen.SnapshotKey("KGS", 64, 42)
+	evolved := datagen.EvolvedSnapshotKey("KGS", 64, 42, 96)
+	if evolved == base {
+		t.Fatal("evolved key must not collide with the pristine dataset key")
+	}
+	if datagen.EvolvedSnapshotKey("KGS", 64, 42, 96) != evolved {
+		t.Fatal("evolved key not deterministic")
+	}
+	if datagen.EvolvedSnapshotKey("KGS", 64, 42, 97) == evolved {
+		t.Fatal("different epochs must map to different keys")
+	}
+}

@@ -1,0 +1,132 @@
+package evolve_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/evolve"
+	"repro/internal/graph"
+)
+
+// FuzzDeltaLog drives arbitrary insert/delete/compact interleavings
+// (decoded from the fuzz input, 3 bytes per op) against a small fixed
+// base graph and checks the package's two core contracts after every
+// step:
+//
+//   - reader-epoch isolation: a snapshot pinned mid-stream
+//     materialises to the same bytes no matter what is applied or
+//     compacted after it;
+//   - round-trip: the evolving graph's materialisation is always
+//     byte-identical to building its net edge set (tracked by a
+//     shadow map) from scratch through the batch builder.
+func FuzzDeltaLog(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x40, 0x01, 0x02, 0x80, 0x00, 0x00})
+	f.Add([]byte{0x00, 0x05, 0x09, 0xc0, 0x03, 0x04, 0x40, 0x05, 0x09, 0x80, 0x00, 0x00, 0x00, 0x05, 0x09})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 24
+		for _, directed := range []bool{false, true} {
+			base := fuzzBase(n, directed)
+			m := evolve.NewMutable(base)
+
+			// shadow tracks the net arc set (tail -> sorted heads is
+			// implied by the builder; we only need membership).
+			shadow := make(map[[2]graph.VertexID]bool)
+			addShadow := func(u, v graph.VertexID) {
+				shadow[[2]graph.VertexID{u, v}] = true
+				if !directed {
+					shadow[[2]graph.VertexID{v, u}] = true
+				}
+			}
+			delShadow := func(u, v graph.VertexID) {
+				delete(shadow, [2]graph.VertexID{u, v})
+				if !directed {
+					delete(shadow, [2]graph.VertexID{v, u})
+				}
+			}
+			// Seed from out-lists: undirected CSRs store both
+			// orientations, matching addShadow's convention.
+			for vi := 0; vi < n; vi++ {
+				for _, w := range base.Out(graph.VertexID(vi)) {
+					shadow[[2]graph.VertexID{graph.VertexID(vi), w}] = true
+				}
+			}
+
+			var pinned *evolve.Snapshot
+			var pinnedBytes []byte
+			seq := uint64(0)
+			for i := 0; i+2 < len(data); i += 3 {
+				kind := data[i] >> 6
+				u := graph.VertexID(int(data[i+1]) % n)
+				v := graph.VertexID(int(data[i+2]) % n)
+				switch kind {
+				case 0, 1: // insert / delete one edge as a batch
+					del := kind == 1
+					seq++
+					if _, err := m.Submit(evolve.Batch{Seq: seq, Ops: []evolve.Op{{Del: del, Src: u, Dst: v}}}); err != nil {
+						t.Fatalf("Submit: %v", err)
+					}
+					if u != v {
+						if del {
+							if shadow[[2]graph.VertexID{u, v}] {
+								delShadow(u, v)
+							}
+						} else {
+							addShadow(u, v)
+						}
+					}
+				case 2: // compact
+					m.Compact()
+				case 3: // pin a snapshot (replacing any previous pin)
+					pinned = m.Snapshot()
+					pinnedBytes = fuzzBytes(t, pinned.Materialize())
+				}
+
+				// Round-trip: current state == scratch build of shadow.
+				got := fuzzBytes(t, m.Snapshot().Materialize())
+				want := fuzzBytes(t, buildShadow(n, directed, shadow))
+				if !bytes.Equal(got, want) {
+					t.Fatalf("step %d (%v): overlay diverged from batch build", i/3, directed)
+				}
+				// Isolation: the pinned snapshot never moves.
+				if pinned != nil {
+					if !bytes.Equal(fuzzBytes(t, pinned.Materialize()), pinnedBytes) {
+						t.Fatalf("step %d (%v): pinned snapshot changed", i/3, directed)
+					}
+				}
+			}
+		}
+	})
+}
+
+// fuzzBase is a small deterministic base graph: a ring plus chords.
+func fuzzBase(n int, directed bool) *graph.Graph {
+	b := graph.NewBuilder(n, directed)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+		if i%3 == 0 {
+			b.AddEdge(graph.VertexID(i), graph.VertexID((i+7)%n))
+		}
+	}
+	return b.Build()
+}
+
+func buildShadow(n int, directed bool, shadow map[[2]graph.VertexID]bool) *graph.Graph {
+	b := graph.NewBuilder(n, directed)
+	for arc := range shadow {
+		if !directed && arc[0] > arc[1] {
+			continue
+		}
+		b.AddEdge(arc[0], arc[1])
+	}
+	return b.Build()
+}
+
+func fuzzBytes(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	return buf.Bytes()
+}

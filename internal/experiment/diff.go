@@ -1,0 +1,211 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Diffing two report bundles: `graphbench experiment-diff a b` loads
+// both results.json files, matches cells leg by leg, and flags
+// regressions — status or validation changes, and projected-job-time
+// (sim-second) moves larger than the noise either bundle recorded for
+// that leg. The wall-clock CV stored with each leg is the bundle's own
+// dispersion estimate, so it doubles as the comparison allowance: a
+// move within max(cvA, cvB, 1%) is indistinguishable from run-to-run
+// noise and stays quiet.
+//
+// Cells whose dataset snapshot key differs between the fingerprints
+// measured different graphs; their timings are reported as
+// incomparable rather than flagged.
+
+// DiffEntry is one observation from comparing two bundles.
+type DiffEntry struct {
+	Cell string `json:"cell"`
+	Leg  string `json:"leg,omitempty"`
+	// Kind classifies the observation: status, validation,
+	// sim-seconds, dataset-key, fingerprint, or missing.
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+	// Flagged entries fail the diff (exit non-zero).
+	Flagged bool `json:"flagged"`
+}
+
+// DiffReport is the outcome of comparing bundle A (the reference,
+// e.g. last night) against bundle B (the candidate).
+type DiffReport struct {
+	PathA, PathB string
+	// Compared counts (cell, leg) pairs present in both bundles.
+	Compared int
+	Entries  []DiffEntry
+}
+
+// Flagged reports whether any entry fails the diff.
+func (r *DiffReport) Flagged() bool {
+	for _, e := range r.Entries {
+		if e.Flagged {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *DiffReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiment-diff: %s -> %s\n", r.PathA, r.PathB)
+	fmt.Fprintf(&b, "  %d cell legs compared\n", r.Compared)
+	if len(r.Entries) == 0 {
+		b.WriteString("  no differences beyond recorded noise\n")
+		return b.String()
+	}
+	for _, e := range r.Entries {
+		mark := "note"
+		if e.Flagged {
+			mark = "FLAG"
+		}
+		loc := e.Cell
+		if e.Leg != "" {
+			loc += " " + e.Leg
+		}
+		if loc != "" {
+			loc += ": "
+		}
+		fmt.Fprintf(&b, "  [%s] %-11s %s%s\n", mark, e.Kind, loc, e.Detail)
+	}
+	return b.String()
+}
+
+// LoadResults reads a bundle's results.json (or any file with the
+// same schema).
+func LoadResults(path string) (*Results, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiment-diff: %w", err)
+	}
+	var res Results
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("experiment-diff: %s: %w", path, err)
+	}
+	if res.SchemaVersion == 0 || len(res.Cells) == 0 {
+		return nil, fmt.Errorf("experiment-diff: %s: not a results.json bundle (schema %d, %d cells)",
+			path, res.SchemaVersion, len(res.Cells))
+	}
+	return &res, nil
+}
+
+// DiffResults compares candidate b against reference a.
+func DiffResults(a, b *Results) *DiffReport {
+	r := &DiffReport{}
+	r.diffFingerprint(a, b)
+	drifted := driftedDatasets(a, b)
+
+	type legKey struct{ cell, leg string }
+	aLegs := make(map[legKey]*LegResult)
+	aCells := make(map[string]*CellResult)
+	for i := range a.Cells {
+		c := &a.Cells[i]
+		aCells[c.String()] = c
+		for j := range c.Legs {
+			aLegs[legKey{c.String(), c.Legs[j].Leg}] = &c.Legs[j]
+		}
+	}
+
+	seen := make(map[string]bool)
+	for i := range b.Cells {
+		cb := &b.Cells[i]
+		name := cb.String()
+		seen[name] = true
+		ca, ok := aCells[name]
+		if !ok {
+			r.add(DiffEntry{Cell: name, Kind: "missing",
+				Detail: "cell only in candidate bundle"})
+			continue
+		}
+		if ca.Status != cb.Status {
+			r.add(DiffEntry{Cell: name, Kind: "status", Flagged: true,
+				Detail: fmt.Sprintf("%s -> %s", ca.Status, cb.Status)})
+		}
+		if ca.Validation != cb.Validation {
+			// Any validation change is worth a look; only a move away
+			// from VALID is a regression.
+			r.add(DiffEntry{Cell: name, Kind: "validation",
+				Flagged: ca.Validation == Valid && cb.Validation != Valid,
+				Detail:  fmt.Sprintf("%s -> %s", ca.Validation, cb.Validation)})
+		}
+		for j := range cb.Legs {
+			lb := &cb.Legs[j]
+			la, ok := aLegs[legKey{name, lb.Leg}]
+			if !ok {
+				r.add(DiffEntry{Cell: name, Leg: lb.Leg, Kind: "missing",
+					Detail: "leg only in candidate bundle"})
+				continue
+			}
+			r.Compared++
+			if la.SimSeconds <= 0 || lb.SimSeconds <= 0 {
+				continue
+			}
+			if drifted[cb.Dataset] {
+				r.add(DiffEntry{Cell: name, Leg: lb.Leg, Kind: "sim-seconds",
+					Detail: "dataset snapshot changed; timings not comparable"})
+				continue
+			}
+			move := math.Abs(lb.SimSeconds-la.SimSeconds) / la.SimSeconds
+			allow := math.Max(0.01, math.Max(la.Wall.CV, lb.Wall.CV))
+			if move > allow {
+				r.add(DiffEntry{Cell: name, Leg: lb.Leg, Kind: "sim-seconds", Flagged: true,
+					Detail: fmt.Sprintf("T %.2fs -> %.2fs (%+.1f%%, allowance %.1f%% from recorded CV)",
+						la.SimSeconds, lb.SimSeconds, 100*(lb.SimSeconds-la.SimSeconds)/la.SimSeconds, 100*allow)})
+			}
+		}
+	}
+	for name := range aCells {
+		if !seen[name] {
+			r.add(DiffEntry{Cell: name, Kind: "missing", Flagged: true,
+				Detail: "cell disappeared from candidate bundle"})
+		}
+	}
+	sort.SliceStable(r.Entries, func(i, j int) bool {
+		if r.Entries[i].Flagged != r.Entries[j].Flagged {
+			return r.Entries[i].Flagged
+		}
+		return r.Entries[i].Cell < r.Entries[j].Cell
+	})
+	return r
+}
+
+// diffFingerprint records environment changes (never flagged: a new
+// toolchain or host is context for the reader, not a regression).
+func (r *DiffReport) diffFingerprint(a, b *Results) {
+	fa, fb := a.Fingerprint, b.Fingerprint
+	if fa.GoVersion != fb.GoVersion {
+		r.add(DiffEntry{Kind: "fingerprint",
+			Detail: fmt.Sprintf("go version %s -> %s", fa.GoVersion, fb.GoVersion)})
+	}
+	if fa.GOOS != fb.GOOS || fa.GOARCH != fb.GOARCH {
+		r.add(DiffEntry{Kind: "fingerprint",
+			Detail: fmt.Sprintf("platform %s/%s -> %s/%s", fa.GOOS, fa.GOARCH, fb.GOOS, fb.GOARCH)})
+	}
+	if fa.CPUModel != fb.CPUModel {
+		r.add(DiffEntry{Kind: "fingerprint",
+			Detail: fmt.Sprintf("cpu %q -> %q", fa.CPUModel, fb.CPUModel)})
+	}
+}
+
+// driftedDatasets returns the dataset names whose snapshot keys differ
+// between the two fingerprints (including weighted views, which map
+// back to their base dataset).
+func driftedDatasets(a, b *Results) map[string]bool {
+	out := make(map[string]bool)
+	for name, ka := range a.Fingerprint.DatasetKeys {
+		kb, ok := b.Fingerprint.DatasetKeys[name]
+		if ok && ka != kb {
+			out[strings.TrimSuffix(name, "+w")] = true
+		}
+	}
+	return out
+}
+
+func (r *DiffReport) add(e DiffEntry) { r.Entries = append(r.Entries, e) }

@@ -52,11 +52,16 @@ const (
 	// work re-executed elsewhere), so an injected OOM exercises the
 	// paper's crash mode without being terminal.
 	OOM
+	// MsgDup delivers a message bundle twice — the at-least-once
+	// transport failure the evolving-graph stream must absorb: the
+	// receiver's sequence-number dedup turns the duplicate into a
+	// no-op (exactly-once application).
+	MsgDup
 
 	numKinds
 )
 
-var kindNames = [...]string{"crash", "task_fail", "msg_drop", "msg_delay", "straggler", "oom"}
+var kindNames = [...]string{"crash", "task_fail", "msg_drop", "msg_delay", "straggler", "oom", "msg_dup"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -182,6 +187,26 @@ func DefaultPlan(seed int64) Plan {
 	}
 }
 
+// StreamPlan is the chaos schedule for streaming-update delivery:
+// dropped, duplicated, and delayed (hence reordered) update batches at
+// the "stream"/"deliver" sites the evolve transport consults. Every
+// fault is recoverable — drops by sender retransmission, duplicates
+// and reordering by the receiver's sequence-number protocol — so a
+// StreamPlan run must converge to state byte-identical to clean
+// in-order application, the exactly-once contract the stream CI gate
+// asserts across seeds.
+func StreamPlan(seed int64) Plan {
+	return Plan{
+		Seed:        seed,
+		MaxAttempts: DefaultMaxAttempts,
+		Rules: []Rule{
+			{Kind: MsgDrop, Engine: "stream", Op: "deliver", Step: Any, Task: Any, Attempt: Any, Prob: 0.20, MaxShots: 64},
+			{Kind: MsgDup, Engine: "stream", Op: "deliver", Step: Any, Task: Any, Attempt: Any, Prob: 0.15, MaxShots: 64},
+			{Kind: MsgDelay, Engine: "stream", Op: "deliver", Step: Any, Task: Any, Attempt: Any, Prob: 0.20, MaxShots: 64},
+		},
+	}
+}
+
 // Injector evaluates a Plan. All methods are safe for concurrent use
 // and safe on a nil receiver (the disabled state, like a nil
 // obs.Session).
@@ -296,6 +321,13 @@ func (in *Injector) DropAt(s Site) bool {
 // barrier at s; the engine charges an extra barrier wait.
 func (in *Injector) DelayAt(s Site) bool {
 	_, ok := in.fire(s, MsgDelay)
+	return ok
+}
+
+// DupAt reports whether a message bundle is delivered twice at s; the
+// receiver must deduplicate it.
+func (in *Injector) DupAt(s Site) bool {
+	_, ok := in.fire(s, MsgDup)
 	return ok
 }
 

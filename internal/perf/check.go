@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/datagen"
 )
 
 // Tolerance is the allowed relative slowdown before a benchmark counts
@@ -119,12 +121,31 @@ func Check(paths []string) ([]CheckResult, error) {
 		if len(bl.Benchmarks) == 0 {
 			return nil, fmt.Errorf("perf: baseline %s has no benchmarks", path)
 		}
+		// Recompute the snapshot keys the baseline recorded: entries
+		// whose dataset was regenerated differently since (generator or
+		// binary-format bump) were measured against a different graph,
+		// so comparing against them is meaningless. Skip them with the
+		// reason, before any suite is built. Baselines without recorded
+		// keys (pre-dating the field) are checked unconditionally.
+		stale := make(map[string]bool)
+		for ds, key := range bl.DatasetKeys {
+			if datagen.SnapshotKey(ds, bl.Scale, bl.Seed) != key {
+				stale[ds] = true
+			}
+		}
 		names := make([]string, 0, len(bl.Benchmarks))
 		for n := range bl.Benchmarks {
 			names = append(names, n)
 		}
 		sort.Strings(names)
 		for _, name := range names {
+			if ds := staleDataset(name, stale); ds != "" {
+				out = append(out, CheckResult{
+					Name: name, File: path, Skipped: true,
+					Reason: fmt.Sprintf("dataset snapshot key for %s is stale (graph regenerated differently since the baseline)", ds),
+				})
+				continue
+			}
 			ref := reference(bl.Benchmarks[name])
 			bm, ok := resolve(name)
 			if !ok || ref == nil {
@@ -148,6 +169,20 @@ func Check(paths []string) ([]CheckResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// staleDataset returns the first stale dataset a benchmark entry
+// names, or "" when the entry's datasets all have current keys.
+func staleDataset(entry string, stale map[string]bool) string {
+	if len(stale) == 0 {
+		return ""
+	}
+	for _, ds := range entryDatasets(entry) {
+		if stale[ds] {
+			return ds
+		}
+	}
+	return ""
 }
 
 // RenderCheck formats the comparison as an aligned table and reports

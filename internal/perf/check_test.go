@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/datagen"
 )
 
 func TestCompareWithinTolerance(t *testing.T) {
@@ -95,6 +97,83 @@ func TestCheckSkipsUnknownEntries(t *testing.T) {
 	}
 	if !strings.Contains(table, "skipped (no committed measurement)") {
 		t.Fatalf("no-measurement notice missing from table:\n%s", table)
+	}
+}
+
+func TestCheckSkipsStaleDatasetKeys(t *testing.T) {
+	// A baseline whose recorded snapshot key no longer matches the
+	// current generator measured a different graph: its entries over
+	// that dataset must be SKIPPED with the reason — before any suite
+	// is built (this test would take minutes if measurement ran).
+	dir := t.TempDir()
+	path := dir + "/BENCH_stale.json"
+	bl := &Baseline{
+		Scale: BaselineScale,
+		Seed:  BaselineSeed,
+		DatasetKeys: map[string]string{
+			"DotaLeague": "stale-key-from-an-older-generator",
+			"KGS":        datagen.SnapshotKey("KGS", BaselineScale, BaselineSeed),
+		},
+		Benchmarks: map[string]*Record{
+			"graph-components-dotaleague": {Before: &Metrics{NsPerOp: 100}},
+			"retired-kgs-entry":           {Before: &Metrics{NsPerOp: 100}},
+		},
+	}
+	data, err := json.Marshal(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, err := Check([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]CheckResult{}
+	for _, c := range results {
+		byName[c.Name] = c
+	}
+	stale := byName["graph-components-dotaleague"]
+	if !stale.Skipped || !strings.Contains(stale.Reason, "stale") || !strings.Contains(stale.Reason, "DotaLeague") {
+		t.Fatalf("stale-key entry not skipped with reason: %+v", stale)
+	}
+	// The KGS key is current, so its (unknown) entry falls through to
+	// the ordinary no-target skip — staleness must not contaminate it.
+	kgs := byName["retired-kgs-entry"]
+	if !kgs.Skipped || strings.Contains(kgs.Reason, "stale") {
+		t.Fatalf("current-key entry mishandled: %+v", kgs)
+	}
+	table, failed := RenderCheck(results)
+	if failed {
+		t.Fatalf("stale skips must not fail the check:\n%s", table)
+	}
+	if !strings.Contains(table, "stale") {
+		t.Fatalf("stale notice missing from table:\n%s", table)
+	}
+}
+
+func TestSuiteDatasetKeys(t *testing.T) {
+	bl := &Baseline{
+		Scale: 8, Seed: 42,
+		Benchmarks: map[string]*Record{
+			"graph-components-dotaleague": {},
+			"pregel-conn-kgs":             {},
+			"no-dataset-here":             {},
+		},
+	}
+	keys := suiteDatasetKeys(bl)
+	if keys["DotaLeague"] != datagen.SnapshotKey("DotaLeague", 8, 42) {
+		t.Fatalf("DotaLeague key wrong: %q", keys["DotaLeague"])
+	}
+	if keys["KGS"] != datagen.SnapshotKey("KGS", 8, 42) {
+		t.Fatalf("KGS key wrong: %q", keys["KGS"])
+	}
+	if len(keys) != 2 {
+		t.Fatalf("got %d keys, want 2: %v", len(keys), keys)
+	}
+	if suiteDatasetKeys(&Baseline{Benchmarks: map[string]*Record{"x": {}}}) != nil {
+		t.Fatal("dataset-free baseline should record no keys")
 	}
 }
 

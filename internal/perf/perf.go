@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/algo"
@@ -68,11 +69,19 @@ type Record struct {
 
 // Baseline is the serialised BENCH_*.json document.
 type Baseline struct {
-	Description string             `json:"description"`
-	GoVersion   string             `json:"go_version"`
-	GoMaxProcs  int                `json:"gomaxprocs,omitempty"`
-	Scale       int                `json:"scale"`
-	Seed        int64              `json:"seed"`
+	Description string `json:"description"`
+	GoVersion   string `json:"go_version"`
+	GoMaxProcs  int    `json:"gomaxprocs,omitempty"`
+	Scale       int    `json:"scale"`
+	Seed        int64  `json:"seed"`
+	// DatasetKeys records the content-addressed snapshot key of every
+	// dataset the suite's entries name, at the baseline's scale and
+	// seed. bench-check recomputes them: an entry whose dataset key no
+	// longer matches was measured against a different graph (generator
+	// or binary-format change) and is skipped with a notice instead of
+	// being compared against incomparable figures. Absent in old
+	// baselines, which are checked unconditionally.
+	DatasetKeys map[string]string  `json:"dataset_keys,omitempty"`
 	Benchmarks  map[string]*Record `json:"benchmarks"`
 }
 
@@ -408,11 +417,41 @@ func writeSuiteBaseline(path, phase, description string, scale int, measure func
 	}
 	bl.GoVersion = runtime.Version()
 	bl.GoMaxProcs = runtime.GOMAXPROCS(0)
+	bl.DatasetKeys = suiteDatasetKeys(bl)
 	data, err := json.MarshalIndent(bl, "", "  ")
 	if err != nil {
 		return nil, err
 	}
 	return bl, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// entryDatasets returns the dataset names (from the datagen registry)
+// that a benchmark entry's name mentions. Suite entries embed the
+// dataset in lowercase ("graph-components-dotaleague").
+func entryDatasets(entry string) []string {
+	var out []string
+	lower := strings.ToLower(entry)
+	for _, ds := range datagen.Names() {
+		if strings.Contains(lower, strings.ToLower(ds)) {
+			out = append(out, ds)
+		}
+	}
+	return out
+}
+
+// suiteDatasetKeys computes the snapshot keys of every dataset the
+// baseline's entries name, at the baseline's scale and seed.
+func suiteDatasetKeys(bl *Baseline) map[string]string {
+	keys := make(map[string]string)
+	for name := range bl.Benchmarks {
+		for _, ds := range entryDatasets(name) {
+			keys[ds] = datagen.SnapshotKey(ds, bl.Scale, bl.Seed)
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	return keys
 }
 
 // Summary renders a short comparison table of the baseline, with

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -21,8 +22,14 @@ import (
 // The queue bound IS the admission controller: tree() never blocks on
 // a full queue, it fails fast with ErrOverloaded so callers shed load
 // at the edge instead of stacking goroutines.
+//
+// A batcher serves exactly one immutable CSR — one compacted epoch of
+// an evolving dataset. Compaction builds a fresh batcher for the new
+// CSR and retires the old one; a query that raced the swap gets
+// errStaleBatcher and the serve layer re-answers it on the live
+// snapshot.
 type batcher struct {
-	d   *dataset
+	g   *graph.Graph
 	cfg *Config
 
 	queue    chan bfsWaiter
@@ -58,10 +65,14 @@ type bfsOutcome struct {
 	err  error
 }
 
-func newBatcher(d *dataset, cfg *Config) *batcher {
+// errStaleBatcher means this batcher was retired by a compaction while
+// the query was in flight; the caller re-answers on the live snapshot.
+var errStaleBatcher = errors.New("serve: batcher retired by compaction")
+
+func newBatcher(g *graph.Graph, cfg *Config) *batcher {
 	reg := cfg.Obs.R()
 	b := &batcher{
-		d:         d,
+		g:         g,
 		cfg:       cfg,
 		queue:     make(chan bfsWaiter, cfg.QueueDepth),
 		stopCh:    make(chan struct{}),
@@ -119,6 +130,16 @@ func (b *batcher) tree(ctx context.Context, src graph.VertexID) (t *algo.BFSTree
 	select {
 	case out := <-w.done:
 		return out.tree, false, out.err
+	case <-b.doneCh:
+		// The batcher retired mid-query. The dispatcher's shutdown
+		// drain may still have answered this waiter (done is
+		// buffered), so check once more before reporting staleness.
+		select {
+		case out := <-w.done:
+			return out.tree, false, out.err
+		default:
+			return nil, false, errStaleBatcher
+		}
 	case <-ctx.Done():
 		b.deadlines.Add(1)
 		return nil, false, fmt.Errorf("%w waiting for batch: %v", algo.ErrDeadlineExceeded, ctx.Err())
@@ -175,7 +196,7 @@ func (b *batcher) collect(first bfsWaiter) ([]graph.VertexID, map[graph.VertexID
 func (b *batcher) runBatch(srcs []graph.VertexID, waiters map[graph.VertexID][]chan bfsOutcome) {
 	span := b.tracer.Begin("serve.batch", obs.KindJob, int64(len(srcs)), obs.SpanRef{})
 	bctx, cancel := context.WithTimeout(context.Background(), b.cfg.QueryTimeout)
-	trees, err := algo.BFSMultiSource(bctx, b.d.g, srcs, algo.GapOptions{Workers: b.cfg.Workers})
+	trees, err := algo.BFSMultiSource(bctx, b.g, srcs, algo.GapOptions{Workers: b.cfg.Workers})
 	cancel()
 	b.tracer.End(span)
 	b.batches.Add(1)
@@ -198,7 +219,7 @@ func (b *batcher) runBatch(srcs []graph.VertexID, waiters map[graph.VertexID][]c
 	for l, src := range srcs {
 		out := bfsOutcome{tree: trees[l]}
 		if !b.cfg.SkipValidate {
-			if verr := algo.ValidateBFS(b.d.g, src, &trees[l].BFSResult); verr != nil {
+			if verr := algo.ValidateBFS(b.g, src, &trees[l].BFSResult); verr != nil {
 				out = bfsOutcome{err: fmt.Errorf("serve: BFS certificate failed for source %d: %w", src, verr)}
 			}
 		}

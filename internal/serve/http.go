@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/algo"
+	"repro/internal/evolve"
 	"repro/internal/graph"
 )
 
@@ -13,7 +14,8 @@ import (
 // JSON body and returns the corresponding answer struct; errors come
 // back as {"error": "..."} with the status the error class maps to:
 //
-//	400  malformed JSON / unknown fields / wrong types
+//	400  malformed JSON / unknown fields / wrong types, invalid
+//	     mutation batches (evolve.ErrBadBatch, evolve.ErrBadOp)
 //	404  unknown dataset, vertex out of range
 //	429  admission control rejected the query (ErrOverloaded)
 //	504  per-query deadline expired (algo.ErrDeadlineExceeded)
@@ -25,6 +27,8 @@ import (
 //	POST /query/khop       {dataset, src, k}       -> KHopAnswer
 //	POST /query/component  {dataset, vertex}       -> ComponentAnswer
 //	POST /query/sssp       {dataset, src, target}  -> SSSPAnswer
+//	POST /mutate           {dataset, seq, ops}     -> MutateAnswer
+//	POST /compact          {dataset}               -> CompactAnswer
 //	GET  /stats?dataset=D                          -> StatsAnswer
 //	GET  /datasets                                 -> {datasets: [...]}
 //	GET  /healthz                                  -> {ok: true}
@@ -35,6 +39,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /query/khop", s.handleKHop)
 	mux.HandleFunc("POST /query/component", s.handleComponent)
 	mux.HandleFunc("POST /query/sssp", s.handleSSSP)
+	mux.HandleFunc("POST /mutate", s.handleMutate)
+	mux.HandleFunc("POST /compact", s.handleCompact)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /datasets", s.handleDatasets)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -154,6 +160,43 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ans)
 }
 
+// mutateBody is the /mutate request: one edge-mutation batch. Ops
+// apply in order ({"src":u,"dst":v} inserts, {"del":true,...} deletes).
+type mutateBody struct {
+	Dataset string      `json:"dataset"`
+	Seq     uint64      `json:"seq"`
+	Ops     []evolve.Op `json:"ops"`
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var m mutateBody
+	if err := dec.Decode(&m); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request body: "+err.Error())
+		return
+	}
+	ans, err := s.Mutate(m.Dataset, evolve.Batch{Seq: m.Seq, Ops: m.Ops})
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	q, ok := decodeBody(w, r)
+	if !ok {
+		return
+	}
+	ans, err := s.Compact(q.Dataset)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ans)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ans, err := s.Stats(r.URL.Query().Get("dataset"))
 	if err != nil {
@@ -188,6 +231,8 @@ func writeQueryError(w http.ResponseWriter, err error) {
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, ErrUnknownDataset), errors.Is(err, ErrBadVertex):
 		status = http.StatusNotFound
+	case errors.Is(err, evolve.ErrBadBatch), errors.Is(err, evolve.ErrBadOp):
+		status = http.StatusBadRequest
 	}
 	writeError(w, status, err.Error())
 }

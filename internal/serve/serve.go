@@ -5,6 +5,18 @@
 // neighbourhood counts, SSSP distance, graph stats — are answered over
 // an in-process API and an HTTP/JSON front end.
 //
+// Datasets are EVOLVING: each one is an evolve.Mutable — an immutable
+// compacted base CSR plus an overlay of applied edge-mutation batches.
+// Mutations arrive through Server.Mutate with exactly-once semantics
+// (duplicates dropped, out-of-order batches buffered); every query
+// answer carries the epoch it was served at, and queries pin a
+// snapshot so they always see a consistent epoch regardless of
+// concurrent writers. After CompactEvery applied batches the overlay
+// is folded into a fresh CSR through the graph builder, the
+// incremental algorithms are cross-checked byte-identical against full
+// recomputation, and the serving state (batcher, derived views,
+// result caches) is swapped atomically.
+//
 // The perf core is the batching scheduler in batcher.go: concurrent
 // BFS-backed point queries coalesce into one multi-source
 // lane-bitmask sweep (algo.BFSMultiSource), so a batch of 64 queries
@@ -12,6 +24,9 @@
 // per-source trees are kept in a bounded result cache — a point query
 // is then one map lookup, and every tree entering the cache has been
 // checked by algo.ValidateBFS first, so served answers are certified.
+// The batcher serves exactly one compacted epoch; while the overlay is
+// non-empty, BFS-backed queries run on the pinned snapshot directly
+// (certified by evolve.CheckBFS) so answers are always current.
 //
 // Admission control is a bounded execution queue: when it is full,
 // queries fail fast with a typed ErrOverloaded (HTTP 429) instead of
@@ -23,12 +38,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algo"
 	"repro/internal/datagen"
+	"repro/internal/evolve"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -55,7 +73,8 @@ type Config struct {
 	Scale int
 	Seed  int64
 	// CacheDir, when non-empty, loads/saves binary GCSR snapshots so
-	// restarts skip regeneration.
+	// restarts skip regeneration. Compaction also writes each folded
+	// epoch's snapshot here under its evolved key.
 	CacheDir string
 	// Workers caps kernel parallelism (0: kernel default).
 	Workers int
@@ -75,8 +94,19 @@ type Config struct {
 	// ResultCacheSize bounds the per-dataset result caches, in source
 	// vertices (default 8192).
 	ResultCacheSize int
+	// CompactEvery folds the mutation overlay into a fresh CSR after
+	// this many applied batches (default 64; negative disables
+	// automatic compaction — Server.Compact still works).
+	CompactEvery int
+	// TrackRanks maintains a delta-PageRank tableau per dataset,
+	// cross-checked against full recomputation at every compaction.
+	// Costs O(iterations × vertices) memory per dataset; the stream
+	// gate turns it on, plain serving leaves it off.
+	TrackRanks bool
 	// SkipValidate disables the ValidateBFS check on each executed
-	// lane before its tree may serve answers. Only benchmarks that
+	// lane before its tree may serve answers, the CheckBFS certificate
+	// on snapshot-path BFS answers, and the incremental-vs-full
+	// equivalence checks at compaction points. Only benchmarks that
 	// isolate sweep cost should set it.
 	SkipValidate bool
 	// Obs receives spans (batch executions) and counters; nil disables.
@@ -108,30 +138,61 @@ func (c *Config) fill() {
 	if c.ResultCacheSize <= 0 {
 		c.ResultCacheSize = 8192
 	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 64
+	}
 }
 
-// Server is the daemon: resident datasets, one batching scheduler per
-// dataset, and the query API the HTTP layer and load generator share.
+// Server is the daemon: resident evolving datasets, one batching
+// scheduler per compacted serving state, and the query/mutation API
+// the HTTP layer and load generator share.
 type Server struct {
 	cfg      Config
 	datasets map[string]*dataset
 }
 
-// dataset is one resident graph plus its lazily derived views and its
-// batcher.
+// dataset is one resident evolving graph: the mutation log, the
+// incremental algorithm state fed by it, and the epoch-pinned serving
+// state (dsState) reads go through.
 type dataset struct {
 	name string
-	g    *graph.Graph
+	n    int // vertex count (fixed: mutations change edges only)
+
+	mut *evolve.Mutable
+	// st is the current compacted serving state; swapped atomically by
+	// compaction, so readers never block on writers.
+	st atomic.Pointer[dsState]
+
+	// mu serialises the write path: Submit, incremental-algorithm
+	// maintenance, compaction, and the component-label cache (which is
+	// derived from the incremental CC state).
+	mu           sync.Mutex
+	cc           *algo.IncrementalCC
+	pr           *algo.DeltaPageRank // nil unless TrackRanks
+	batchesSince int                 // applied batches since last compaction
+	compactions  int64
+
+	// Component-label cache, keyed by the epoch it was computed at.
+	ccEpoch  uint64
+	ccLabels []graph.VertexID
+	ccSizes  map[graph.VertexID]int
+}
+
+// dsState is the immutable per-compaction serving state: the compacted
+// base CSR at one epoch plus everything derived from exactly that
+// graph. A compaction builds a fresh dsState and retires the old one;
+// in-flight queries finish against the state they loaded.
+type dsState struct {
+	// epoch is the compaction epoch g reflects. It is atomic because
+	// an empty-overlay compaction advances the epoch label without
+	// swapping the state (the folded graph is the one already served).
+	epoch   atomic.Uint64
+	g       *graph.Graph
+	batcher *batcher
 
 	weightedOnce sync.Once
 	weighted     *graph.Graph
-
-	compOnce  sync.Once
-	compLabel []graph.VertexID
-	compSize  map[graph.VertexID]int
-
-	batcher *batcher
-	sssp    *ssspCache
+	sssp         *ssspCache
 }
 
 // New loads every configured dataset resident (through the snapshot
@@ -151,8 +212,18 @@ func New(cfg Config) (*Server, error) {
 		} else {
 			g = p.GenerateScaled(cfg.Scale, cfg.Seed)
 		}
-		d := &dataset{name: p.Name, g: g, sssp: newSSSPCache(cfg.ResultCacheSize)}
-		d.batcher = newBatcher(d, &cfg)
+		d := &dataset{
+			name: p.Name,
+			n:    g.NumVertices(),
+			mut:  evolve.NewMutable(g),
+			cc:   algo.NewIncrementalCC(g),
+		}
+		if s.cfg.TrackRanks {
+			d.pr = algo.NewDeltaPageRank(d.mut.Snapshot(), 0, 0)
+		}
+		st := &dsState{g: g, sssp: newSSSPCache(s.cfg.ResultCacheSize)}
+		st.batcher = newBatcher(g, &s.cfg)
+		d.st.Store(st)
 		s.datasets[p.Name] = d
 	}
 	return s, nil
@@ -162,7 +233,7 @@ func New(cfg Config) (*Server, error) {
 // queued queries are answered before shutdown completes.
 func (s *Server) Close() {
 	for _, d := range s.datasets {
-		d.batcher.stop()
+		d.st.Load().batcher.stop()
 	}
 }
 
@@ -188,8 +259,142 @@ func (s *Server) dataset(name string) (*dataset, error) {
 }
 
 func (d *dataset) checkVertex(v graph.VertexID) error {
-	if int(v) < 0 || int(v) >= d.g.NumVertices() {
-		return fmt.Errorf("%w: %d not in [0,%d)", ErrBadVertex, v, d.g.NumVertices())
+	if int(v) < 0 || int(v) >= d.n {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrBadVertex, v, d.n)
+	}
+	return nil
+}
+
+// MutateAnswer reports the fate of one submitted mutation batch.
+type MutateAnswer struct {
+	Dataset string `json:"dataset"`
+	Seq     uint64 `json:"seq"`
+	// Status is evolve.StatusApplied, StatusBuffered (waiting for an
+	// earlier sequence number) or StatusDuplicate (already applied).
+	Status string `json:"status"`
+	// Epoch is the dataset epoch after this submission.
+	Epoch uint64 `json:"epoch"`
+	// Applied counts batches this submission applied (the batch itself
+	// plus any buffered successors it unblocked; 0 when buffered or
+	// duplicate).
+	Applied int `json:"applied"`
+	// Compacted reports that this submission triggered a compaction.
+	Compacted bool `json:"compacted"`
+}
+
+// Mutate submits one edge-mutation batch with exactly-once semantics:
+// duplicate sequence numbers are dropped, out-of-order batches are
+// buffered until the gap fills. Applied batches immediately update the
+// incremental algorithm state; after CompactEvery applied batches the
+// overlay is folded into a fresh serving state.
+func (s *Server) Mutate(dsName string, b evolve.Batch) (*MutateAnswer, error) {
+	d, err := s.dataset(dsName)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	res, err := d.mut.Submit(b)
+	if err != nil {
+		return nil, err
+	}
+	for _, ab := range res.Applied {
+		d.cc.Apply(ab.Batch.Ops)
+		if d.pr != nil {
+			d.pr.Apply(ab.Batch.Ops, ab.After)
+		}
+	}
+	d.batchesSince += len(res.Applied)
+	ans := &MutateAnswer{
+		Dataset: d.name,
+		Seq:     b.Seq,
+		Status:  res.Status,
+		Epoch:   res.Epoch,
+		Applied: len(res.Applied),
+	}
+	if s.cfg.CompactEvery > 0 && d.batchesSince >= s.cfg.CompactEvery {
+		if err := d.compactLocked(&s.cfg); err != nil {
+			return nil, err
+		}
+		ans.Compacted = true
+	}
+	return ans, nil
+}
+
+// CompactAnswer reports a compaction's outcome.
+type CompactAnswer struct {
+	Dataset string `json:"dataset"`
+	// Epoch is the compaction epoch the serving state now reflects.
+	Epoch uint64 `json:"epoch"`
+	// Compactions counts state swaps since startup (a compaction with
+	// an empty overlay is a no-op and does not swap).
+	Compactions int64 `json:"compactions"`
+	// Pending counts buffered out-of-order batches still waiting for a
+	// sequence gap to fill; they are NOT folded by compaction.
+	Pending int `json:"pending"`
+}
+
+// Compact folds the applied overlay into a fresh compacted serving
+// state now, regardless of CompactEvery.
+func (s *Server) Compact(dsName string) (*CompactAnswer, error) {
+	d, err := s.dataset(dsName)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.compactLocked(&s.cfg); err != nil {
+		return nil, err
+	}
+	return &CompactAnswer{
+		Dataset:     d.name,
+		Epoch:       d.st.Load().epoch.Load(),
+		Compactions: d.compactions,
+		Pending:     d.mut.PendingBatches(),
+	}, nil
+}
+
+// compactLocked (d.mu held) folds the overlay, cross-checks the
+// incremental algorithms byte-identical against full recomputation
+// over the compacted CSR, swaps the serving state, and retires the old
+// batcher. An empty overlay is a no-op.
+func (d *dataset) compactLocked(cfg *Config) error {
+	snap := d.mut.Compact()
+	g := snap.Base()
+	old := d.st.Load()
+	d.batchesSince = 0
+	if old.g == g {
+		// Nothing was folded (overlay already empty): the graph is
+		// unchanged, only the epoch label moves.
+		old.epoch.Store(snap.Epoch())
+		return nil
+	}
+	if !cfg.SkipValidate {
+		if err := algo.CheckLabelsEqual(d.cc.Labels(snap), g.ConnectedComponents()); err != nil {
+			return fmt.Errorf("serve: incremental CC diverged from full recompute at epoch %d: %w",
+				snap.Epoch(), err)
+		}
+		if d.pr != nil {
+			full := algo.PageRankPull(g, d.pr.Iterations(), d.pr.Damping(),
+				algo.GapOptions{Workers: cfg.Workers})
+			if err := algo.CheckRanksEqual(d.pr.Ranks(), full.Ranks); err != nil {
+				return fmt.Errorf("serve: delta-PageRank diverged from full recompute at epoch %d: %w",
+					snap.Epoch(), err)
+			}
+		}
+	}
+	st := &dsState{g: g, sssp: newSSSPCache(cfg.ResultCacheSize)}
+	st.epoch.Store(snap.Epoch())
+	st.batcher = newBatcher(g, cfg)
+	d.st.Store(st)
+	old.batcher.stop()
+	d.compactions++
+	if cfg.CacheDir != "" {
+		path := filepath.Join(cfg.CacheDir,
+			datagen.EvolvedSnapshotKey(d.name, cfg.Scale, cfg.Seed, snap.Epoch()))
+		if err := datagen.WriteSnapshot(path, g); err != nil {
+			return fmt.Errorf("serve: writing compacted snapshot: %w", err)
+		}
 	}
 	return nil
 }
@@ -206,13 +411,45 @@ type BFSAnswer struct {
 	// Visited counts vertices reachable from src.
 	Visited int `json:"visited"`
 	// Cached reports whether the query was served from the result
-	// cache (false: this query's batch executed the sweep).
+	// cache (false: this query's batch executed the sweep, or the
+	// answer ran on the live snapshot).
 	Cached bool `json:"cached"`
+	// Epoch is the dataset epoch this answer reflects.
+	Epoch uint64 `json:"epoch"`
+}
+
+// bfsLevels answers a BFS-backed query at a consistent epoch. While
+// the pinned snapshot matches the compacted serving state it rides the
+// batching scheduler (amortised sweeps + result cache); when the
+// overlay has pending mutations — or the batcher was retired by a
+// concurrent compaction mid-query — it runs a certified BFS on the
+// snapshot itself.
+func (s *Server) bfsLevels(ctx context.Context, d *dataset, src graph.VertexID) (levels []int32, visited int, cached bool, epoch uint64, err error) {
+	snap := d.mut.Snapshot()
+	st := d.st.Load()
+	if snap.OverlayEmpty() && snap.Base() == st.g {
+		tree, hit, terr := st.batcher.tree(ctx, src)
+		if terr == nil {
+			return tree.Levels, tree.Visited, hit, snap.Epoch(), nil
+		}
+		if !errors.Is(terr, errStaleBatcher) {
+			return nil, 0, false, 0, terr
+		}
+		// The batcher retired under us: fall through to the snapshot.
+	}
+	levels, visited, _ = snap.BFS(src)
+	if !s.cfg.SkipValidate {
+		if cerr := evolve.CheckBFS(snap, src, levels); cerr != nil {
+			return nil, 0, false, 0, fmt.Errorf("serve: snapshot BFS certificate failed for source %d: %w", src, cerr)
+		}
+	}
+	return levels, visited, false, snap.Epoch(), nil
 }
 
 // BFS answers a point reachability/distance query. Cache hits return
-// immediately; misses ride the batching scheduler. The context bounds
-// the whole query; the configured QueryTimeout is applied on top.
+// immediately; misses ride the batching scheduler (or the live
+// snapshot while mutations are pending). The context bounds the whole
+// query; the configured QueryTimeout is applied on top.
 func (s *Server) BFS(ctx context.Context, dsName string, src, target graph.VertexID) (*BFSAnswer, error) {
 	d, err := s.dataset(dsName)
 	if err != nil {
@@ -224,19 +461,20 @@ func (s *Server) BFS(ctx context.Context, dsName string, src, target graph.Verte
 	if err := d.checkVertex(target); err != nil {
 		return nil, err
 	}
-	tree, cached, err := d.batcher.tree(ctx, src)
+	levels, visited, cached, epoch, err := s.bfsLevels(ctx, d, src)
 	if err != nil {
 		return nil, err
 	}
-	dist := tree.Levels[target]
+	dist := levels[target]
 	return &BFSAnswer{
 		Dataset:   d.name,
 		Src:       int64(src),
 		Target:    int64(target),
 		Reachable: dist >= 0,
 		Dist:      dist,
-		Visited:   tree.Visited,
+		Visited:   visited,
 		Cached:    cached,
+		Epoch:     epoch,
 	}, nil
 }
 
@@ -250,6 +488,8 @@ type KHopAnswer struct {
 	Count int `json:"count"`
 	// Frontier is the number at exactly k hops.
 	Frontier int `json:"frontier"`
+	// Epoch is the dataset epoch this answer reflects.
+	Epoch uint64 `json:"epoch"`
 }
 
 // KHop counts the vertices within k hops of src. It shares the BFS
@@ -265,12 +505,12 @@ func (s *Server) KHop(ctx context.Context, dsName string, src graph.VertexID, k 
 	if err := d.checkVertex(src); err != nil {
 		return nil, err
 	}
-	tree, _, err := d.batcher.tree(ctx, src)
+	levels, _, _, epoch, err := s.bfsLevels(ctx, d, src)
 	if err != nil {
 		return nil, err
 	}
-	ans := &KHopAnswer{Dataset: d.name, Src: int64(src), K: k}
-	for _, lv := range tree.Levels {
+	ans := &KHopAnswer{Dataset: d.name, Src: int64(src), K: k, Epoch: epoch}
+	for _, lv := range levels {
 		if lv >= 0 && lv <= k {
 			ans.Count++
 			if lv == k {
@@ -289,10 +529,13 @@ type ComponentAnswer struct {
 	// component, the engines' shared convention).
 	Component int64 `json:"component"`
 	Size      int   `json:"size"`
+	// Epoch is the dataset epoch this answer reflects.
+	Epoch uint64 `json:"epoch"`
 }
 
-// Component answers a connected-component lookup. Labels are computed
-// once per dataset on first use and shared by every query after.
+// Component answers a connected-component lookup from the
+// incrementally maintained union-find state; labels are cached per
+// epoch so repeated lookups at an unchanged epoch are one map access.
 func (s *Server) Component(ctx context.Context, dsName string, v graph.VertexID) (*ComponentAnswer, error) {
 	d, err := s.dataset(dsName)
 	if err != nil {
@@ -304,19 +547,24 @@ func (s *Server) Component(ctx context.Context, dsName string, v graph.VertexID)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", algo.ErrDeadlineExceeded, err)
 	}
-	d.compOnce.Do(func() {
-		d.compLabel = d.g.ConnectedComponents()
-		d.compSize = make(map[graph.VertexID]int)
-		for _, label := range d.compLabel {
-			d.compSize[label]++
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	snap := d.mut.Snapshot()
+	if d.ccLabels == nil || d.ccEpoch != snap.Epoch() {
+		d.ccLabels = d.cc.Labels(snap)
+		d.ccSizes = make(map[graph.VertexID]int)
+		for _, label := range d.ccLabels {
+			d.ccSizes[label]++
 		}
-	})
-	label := d.compLabel[v]
+		d.ccEpoch = snap.Epoch()
+	}
+	label := d.ccLabels[v]
 	return &ComponentAnswer{
 		Dataset:   d.name,
 		Vertex:    int64(v),
 		Component: int64(label),
-		Size:      d.compSize[label],
+		Size:      d.ccSizes[label],
+		Epoch:     snap.Epoch(),
 	}, nil
 }
 
@@ -330,11 +578,18 @@ type SSSPAnswer struct {
 	Dist int64 `json:"dist"`
 	// Cached reports a result-cache hit.
 	Cached bool `json:"cached"`
+	// Epoch is the COMPACTED epoch this answer reflects: weights are
+	// derived from the compacted CSR, so SSSP serves the base graph
+	// and picks up mutations at the next compaction.
+	Epoch uint64 `json:"epoch"`
 }
 
 // SSSP answers a weighted shortest-distance query. Weights are derived
 // deterministically from the dataset seed (graph.WithWeights), so
-// answers are stable across restarts. Results are cached per source.
+// answers are stable across restarts; they are a function of the
+// compacted CSR, so the answer's epoch is the serving state's
+// compaction epoch. Results are cached per source and invalidated by
+// compaction (each serving state owns its cache).
 func (s *Server) SSSP(ctx context.Context, dsName string, src, target graph.VertexID) (*SSSPAnswer, error) {
 	d, err := s.dataset(dsName)
 	if err != nil {
@@ -349,21 +604,22 @@ func (s *Server) SSSP(ctx context.Context, dsName string, src, target graph.Vert
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", algo.ErrDeadlineExceeded, err)
 	}
-	d.weightedOnce.Do(func() {
-		d.weighted = graph.WithWeights(d.g, uint64(s.cfg.Seed))
+	st := d.st.Load()
+	st.weightedOnce.Do(func() {
+		st.weighted = graph.WithWeights(st.g, uint64(s.cfg.Seed))
 	})
-	res, cached := d.sssp.get(src)
+	res, cached := st.sssp.get(src)
 	if res == nil {
-		res = algo.SSSPDeltaStep(d.weighted, src, algo.GapOptions{Workers: s.cfg.Workers})
+		res = algo.SSSPDeltaStep(st.weighted, src, algo.GapOptions{Workers: s.cfg.Workers})
 		if !s.cfg.SkipValidate {
-			if err := algo.ValidateSSSP(d.weighted, src, res); err != nil {
+			if err := algo.ValidateSSSP(st.weighted, src, res); err != nil {
 				return nil, fmt.Errorf("serve: SSSP certificate failed: %w", err)
 			}
 		}
-		d.sssp.put(src, res)
+		st.sssp.put(src, res)
 	}
 	dist := res.Dist[target]
-	ans := &SSSPAnswer{Dataset: d.name, Src: int64(src), Target: int64(target), Cached: cached}
+	ans := &SSSPAnswer{Dataset: d.name, Src: int64(src), Target: int64(target), Cached: cached, Epoch: st.epoch.Load()}
 	if dist < 0 || dist == int64(^uint64(0)>>1) { // unreachedW sentinel
 		ans.Dist = -1
 	} else {
@@ -375,16 +631,28 @@ func (s *Server) SSSP(ctx context.Context, dsName string, src, target graph.Vert
 
 // StatsAnswer summarises a resident dataset.
 type StatsAnswer struct {
-	Dataset     string  `json:"dataset"`
-	Directed    bool    `json:"directed"`
-	Vertices    int     `json:"vertices"`
-	Edges       int64   `json:"edges"`
-	AvgDegree   float64 `json:"avg_degree"`
-	MaxDegree   int     `json:"max_degree"`
+	Dataset  string `json:"dataset"`
+	Directed bool   `json:"directed"`
+	Vertices int    `json:"vertices"`
+	// Edges is the LIVE edge count (compacted base plus overlay).
+	Edges     int64   `json:"edges"`
+	AvgDegree float64 `json:"avg_degree"`
+	MaxDegree int     `json:"max_degree"`
+	// LinkDensity, AvgDegree and MaxDegree describe the compacted base
+	// CSR (degree structure is recomputed at compaction, not per
+	// mutation).
 	LinkDensity float64 `json:"link_density"`
 	// CacheEntries counts BFS trees currently resident in the result
 	// cache.
 	CacheEntries int `json:"cache_entries"`
+	// Epoch is the live dataset epoch; BaseEpoch is the compaction
+	// epoch the serving state reflects.
+	Epoch     uint64 `json:"epoch"`
+	BaseEpoch uint64 `json:"base_epoch"`
+	// PendingBatches counts buffered out-of-order mutation batches.
+	PendingBatches int `json:"pending_batches"`
+	// Compactions counts serving-state swaps since startup.
+	Compactions int64 `json:"compactions"`
 }
 
 // Stats reports structural stats for a resident dataset.
@@ -393,26 +661,47 @@ func (s *Server) Stats(dsName string) (*StatsAnswer, error) {
 	if err != nil {
 		return nil, err
 	}
+	snap := d.mut.Snapshot()
+	st := d.st.Load()
+	d.mu.Lock()
+	compactions := d.compactions
+	d.mu.Unlock()
 	return &StatsAnswer{
-		Dataset:      d.name,
-		Directed:     d.g.Directed(),
-		Vertices:     d.g.NumVertices(),
-		Edges:        d.g.NumEdges(),
-		AvgDegree:    d.g.AvgDegree(),
-		MaxDegree:    d.g.MaxDegree(),
-		LinkDensity:  d.g.LinkDensity(),
-		CacheEntries: d.batcher.cacheLen(),
+		Dataset:        d.name,
+		Directed:       st.g.Directed(),
+		Vertices:       d.n,
+		Edges:          snap.NumEdges(),
+		AvgDegree:      st.g.AvgDegree(),
+		MaxDegree:      st.g.MaxDegree(),
+		LinkDensity:    st.g.LinkDensity(),
+		CacheEntries:   st.batcher.cacheLen(),
+		Epoch:          snap.Epoch(),
+		BaseEpoch:      st.epoch.Load(),
+		PendingBatches: d.mut.PendingBatches(),
+		Compactions:    compactions,
 	}, nil
 }
 
-// Graph exposes a resident dataset's graph (read-only) — the load
-// generator uses it to pick query vertices.
+// Graph exposes a resident dataset's compacted base CSR (read-only) —
+// the load generator uses it to pick query vertices. Vertex count is
+// stable across compactions; edges reflect the last compaction.
 func (s *Server) Graph(dsName string) (*graph.Graph, error) {
 	d, err := s.dataset(dsName)
 	if err != nil {
 		return nil, err
 	}
-	return d.g, nil
+	return d.st.Load().g, nil
+}
+
+// Snapshot exposes a resident dataset's live evolving snapshot —
+// epoch-consistent and immutable. The stream driver and tests use it
+// to cross-check served answers.
+func (s *Server) Snapshot(dsName string) (*evolve.Snapshot, error) {
+	d, err := s.dataset(dsName)
+	if err != nil {
+		return nil, err
+	}
+	return d.mut.Snapshot(), nil
 }
 
 // ssspCache is the bounded per-source SSSP result cache. Eviction is

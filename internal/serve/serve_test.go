@@ -296,12 +296,12 @@ func TestHandlerTable(t *testing.T) {
 // error, deterministically.
 func TestHandlerOverload(t *testing.T) {
 	s := newTestServer(t, func(c *Config) { c.QueueDepth = 2 })
-	d := s.datasets["DotaLeague"]
-	d.batcher.stop() // nothing drains the queue from here on
+	bt := s.datasets["DotaLeague"].st.Load().batcher
+	bt.stop() // nothing drains the queue from here on
 	for i := 0; i < 2; i++ {
-		d.batcher.queue <- bfsWaiter{src: 0, done: make(chan bfsOutcome, 1)}
+		bt.queue <- bfsWaiter{src: 0, done: make(chan bfsOutcome, 1)}
 	}
-	if _, _, err := d.batcher.tree(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
+	if _, _, err := bt.tree(context.Background(), 1); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("full queue returned %v, want ErrOverloaded", err)
 	}
 	rec := postJSON(s.Handler(), "/query/bfs", `{"dataset":"DotaLeague","src":1,"target":2}`)
@@ -310,20 +310,46 @@ func TestHandlerOverload(t *testing.T) {
 	}
 }
 
-// TestHandlerDeadline: with the dispatcher stopped (a batch that never
-// completes) a query must come back 504 at its deadline with the
-// kernel's typed error.
+// TestStaleBatcherFallback: a retired batcher (what a query sees when
+// compaction swaps the serving state mid-flight) reports the typed
+// stale error, and the serve layer transparently re-answers on the
+// live snapshot — the client still gets a correct 200.
+func TestStaleBatcherFallback(t *testing.T) {
+	s := newTestServer(t, nil)
+	bt := s.datasets["DotaLeague"].st.Load().batcher
+	bt.stop()
+	if _, _, err := bt.tree(context.Background(), 1); !errors.Is(err, errStaleBatcher) {
+		t.Fatalf("retired batcher returned %v, want errStaleBatcher", err)
+	}
+	rec := postJSON(s.Handler(), "/query/bfs", `{"dataset":"DotaLeague","src":2,"target":3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query against retired batcher answered %d, want 200 via snapshot fallback (%s)",
+			rec.Code, rec.Body.String())
+	}
+	var ans BFSAnswer
+	if err := json.Unmarshal(rec.Body.Bytes(), &ans); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := s.Graph("DotaLeague")
+	want := algo.BFSDirOpt(g, 2, algo.GapOptions{})
+	if ans.Dist != want.Levels[3] || ans.Cached {
+		t.Fatalf("fallback answer %+v disagrees with solo kernel (want dist %d, uncached)",
+			ans, want.Levels[3])
+	}
+}
+
+// TestHandlerDeadline: an already-expired per-query deadline must come
+// back 504 with the kernel's typed error — whether the waiter times
+// out or the sweep itself is cancelled mid-flight.
 func TestHandlerDeadline(t *testing.T) {
-	s := newTestServer(t, func(c *Config) { c.QueryTimeout = 5 * time.Millisecond })
-	d := s.datasets["DotaLeague"]
-	d.batcher.stop()
-	_, _, err := d.batcher.tree(context.Background(), 1)
+	s := newTestServer(t, func(c *Config) { c.QueryTimeout = time.Nanosecond })
+	_, err := s.BFS(context.Background(), "DotaLeague", 1, 2)
 	if !errors.Is(err, algo.ErrDeadlineExceeded) {
-		t.Fatalf("stalled batch returned %v, want ErrDeadlineExceeded", err)
+		t.Fatalf("expired deadline returned %v, want ErrDeadlineExceeded", err)
 	}
 	rec := postJSON(s.Handler(), "/query/bfs", `{"dataset":"DotaLeague","src":2,"target":3}`)
 	if rec.Code != http.StatusGatewayTimeout {
-		t.Fatalf("stalled server answered %d, want 504 (%s)", rec.Code, rec.Body.String())
+		t.Fatalf("expired deadline answered %d, want 504 (%s)", rec.Code, rec.Body.String())
 	}
 }
 

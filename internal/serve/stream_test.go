@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/evolve"
+	"repro/internal/graph"
+)
+
+// TestServerMutate pins the mutation API's exactly-once contract at
+// the serve layer: statuses, epochs, buffered reordering, duplicate
+// drops, and auto-compaction at CompactEvery.
+func TestServerMutate(t *testing.T) {
+	cacheDir := t.TempDir()
+	s := newTestServer(t, func(c *Config) {
+		c.CompactEvery = 2
+		c.CacheDir = cacheDir
+		c.TrackRanks = true
+	})
+	g, _ := s.Graph("DotaLeague")
+	batches := datagen.UpdateStream(g, 9, 4, 4, 0.25)
+
+	// Out of order: batch 2 buffers, batch 1 applies both.
+	ans, err := s.Mutate("DotaLeague", batches[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Status != evolve.StatusBuffered || ans.Epoch != 0 || ans.Applied != 0 {
+		t.Fatalf("out-of-order batch: %+v", ans)
+	}
+	ans, err = s.Mutate("DotaLeague", batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Status != evolve.StatusApplied || ans.Epoch != 2 || ans.Applied != 2 {
+		t.Fatalf("gap-filling batch: %+v", ans)
+	}
+	if !ans.Compacted {
+		t.Fatalf("CompactEvery=2 with 2 applied batches did not compact: %+v", ans)
+	}
+	// The compacted snapshot landed in the cache dir under its evolved key.
+	key := datagen.EvolvedSnapshotKey("DotaLeague", s.Config().Scale, s.Config().Seed, 2)
+	if _, err := os.Stat(filepath.Join(cacheDir, key)); err != nil {
+		t.Fatalf("compaction snapshot not written: %v", err)
+	}
+
+	// Duplicate of an already-applied batch is dropped.
+	ans, err = s.Mutate("DotaLeague", batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Status != evolve.StatusDuplicate || ans.Applied != 0 || ans.Epoch != 2 {
+		t.Fatalf("duplicate batch: %+v", ans)
+	}
+
+	// Queries at the new epoch see the mutated graph and report it.
+	st, err := s.Stats("DotaLeague")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 2 || st.BaseEpoch != 2 || st.Compactions != 1 {
+		t.Fatalf("stats after compaction: %+v", st)
+	}
+	snap, err := s.Snapshot("DotaLeague")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch() != 2 || !snap.OverlayEmpty() {
+		t.Fatalf("snapshot after compaction: epoch %d, overlay %d vertices",
+			snap.Epoch(), snap.OverlayVertices())
+	}
+
+	// An invalid batch is rejected with the typed error and no epoch
+	// movement.
+	if _, err := s.Mutate("DotaLeague", evolve.Batch{Seq: 0}); err == nil {
+		t.Fatal("Seq 0 accepted")
+	}
+	if _, err := s.Mutate("nope", batches[2]); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+// absentEdge finds a vertex pair with no edge in either direction.
+func absentEdge(t *testing.T, g *graph.Graph) (u, v graph.VertexID) {
+	t.Helper()
+	n := g.NumVertices()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !g.HasEdge(graph.VertexID(a), graph.VertexID(b)) && !g.HasEdge(graph.VertexID(b), graph.VertexID(a)) {
+				return graph.VertexID(a), graph.VertexID(b)
+			}
+		}
+	}
+	t.Skip("graph is complete")
+	return 0, 0
+}
+
+// TestServerQueriesSeeOverlay: with mutations applied but NOT yet
+// compacted, BFS answers must reflect the overlay (snapshot path) and
+// carry the live epoch.
+func TestServerQueriesSeeOverlay(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.CompactEvery = -1 })
+	g, _ := s.Graph("DotaLeague")
+	u, v := absentEdge(t, g)
+	ans, err := s.Mutate("DotaLeague", evolve.Batch{Seq: 1, Ops: []evolve.Op{evolve.Insert(u, v)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Epoch != 1 || ans.Compacted {
+		t.Fatalf("mutate: %+v", ans)
+	}
+	bfs, err := s.BFS(context.Background(), "DotaLeague", u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfs.Epoch != 1 {
+		t.Fatalf("BFS epoch %d, want 1", bfs.Epoch)
+	}
+	if !bfs.Reachable || bfs.Dist != 1 {
+		t.Fatalf("inserted edge not visible to BFS: %+v", bfs)
+	}
+	if bfs.Cached {
+		t.Fatal("overlay-epoch answer claims a batcher cache hit")
+	}
+	comp, err := s.Component(context.Background(), "DotaLeague", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Epoch != 1 {
+		t.Fatalf("component epoch %d, want 1", comp.Epoch)
+	}
+}
+
+// TestHandlerMutate drives /mutate and /compact over HTTP, including
+// the 400 mapping for invalid batches.
+func TestHandlerMutate(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.CompactEvery = -1 })
+	h := s.Handler()
+	g, _ := s.Graph("DotaLeague")
+	au, av := absentEdge(t, g)
+
+	rec := postJSON(h, "/mutate",
+		fmt.Sprintf(`{"dataset":"DotaLeague","seq":1,"ops":[{"src":%d,"dst":%d}]}`, au, av))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/mutate: %d (%s)", rec.Code, rec.Body.String())
+	}
+	var ans MutateAnswer
+	if err := json.Unmarshal(rec.Body.Bytes(), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if ans.Status != evolve.StatusApplied || ans.Epoch != 1 {
+		t.Fatalf("/mutate answer: %+v", ans)
+	}
+
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"seq zero", `{"dataset":"DotaLeague","seq":0,"ops":[]}`, 400},
+		{"bad vertex", `{"dataset":"DotaLeague","seq":2,"ops":[{"src":1,"dst":99999999}]}`, 400},
+		{"unknown field", `{"dataset":"DotaLeague","seq":2,"oops":[]}`, 400},
+		{"unknown dataset", `{"dataset":"zzz","seq":2,"ops":[]}`, 404},
+		{"duplicate", `{"dataset":"DotaLeague","seq":1,"ops":[{"src":1,"dst":0}]}`, 200},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postJSON(h, "/mutate", tc.body)
+			if rec.Code != tc.status {
+				t.Fatalf("%s: %d, want %d (%s)", tc.body, rec.Code, tc.status, rec.Body.String())
+			}
+		})
+	}
+
+	rec = postJSON(h, "/compact", `{"dataset":"DotaLeague"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/compact: %d (%s)", rec.Code, rec.Body.String())
+	}
+	var ca CompactAnswer
+	if err := json.Unmarshal(rec.Body.Bytes(), &ca); err != nil {
+		t.Fatal(err)
+	}
+	if ca.Epoch != 1 || ca.Compactions != 1 {
+		t.Fatalf("/compact answer: %+v", ca)
+	}
+}
+
+// TestRunStreamSweep is the read/write-mix sweep at test scale: every
+// row must MATCH the clean replay with zero torn epochs, and the runs
+// must actually cross compaction points (where the incremental
+// algorithms are cross-checked against full recomputation).
+func TestRunStreamSweep(t *testing.T) {
+	rep, err := RunStream(StreamConfig{
+		Mixes:      []StreamMix{{90, 10}, {50, 50}},
+		Users:      16,
+		OpsPerUser: 24,
+		Batches:    32,
+		BatchSize:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if !rep.Ok() {
+		t.Fatalf("stream sweep failed:\n%s", rep)
+	}
+	for _, row := range rep.Rows {
+		if row.FinalEpoch != 32 {
+			t.Fatalf("mix %s: final epoch %d, want 32", row.Mix, row.FinalEpoch)
+		}
+		if row.Compacted == 0 {
+			t.Fatalf("mix %s: no compaction points crossed", row.Mix)
+		}
+		if row.Mutations == 0 || row.Queries == 0 {
+			t.Fatalf("mix %s: degenerate run %+v", row.Mix, row)
+		}
+	}
+	if _, err := RunStream(StreamConfig{Mixes: []StreamMix{{80, 30}}}); err == nil {
+		t.Fatal("invalid mix accepted")
+	}
+}
+
+// TestRunStreamChaos replays the update stream through the
+// deterministic lossy transport for the three CI seeds: exactly-once
+// application must land every seed on the clean replay's bytes, with
+// faults actually injected and concurrent readers never observing an
+// epoch regression.
+func TestRunStreamChaos(t *testing.T) {
+	rep, err := RunStreamChaos(StreamConfig{
+		Batches:   32,
+		BatchSize: 8,
+	}, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if !rep.Ok() {
+		t.Fatalf("stream chaos failed:\n%s", rep)
+	}
+	for _, row := range rep.Rows {
+		if row.Delivered != 32 || row.FinalEpoch != 32 {
+			t.Fatalf("seed %d: delivered %d, final epoch %d, want 32/32",
+				row.Seed, row.Delivered, row.FinalEpoch)
+		}
+	}
+}
+
+// TestStreamLoadSmoke is the streaming loadtest gate: 200 users at a
+// 90/10 read/write mix (race detector on in CI). No query may observe
+// a torn epoch, and the final state must MATCH the clean replay.
+func TestStreamLoadSmoke(t *testing.T) {
+	rep, err := RunStream(StreamConfig{
+		Mixes:      []StreamMix{{90, 10}},
+		Users:      200,
+		OpsPerUser: 16,
+		Batches:    48,
+		BatchSize:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	row := rep.Rows[0]
+	if row.TornEpochs != 0 {
+		t.Fatalf("%d queries observed a torn epoch", row.TornEpochs)
+	}
+	if !row.Match {
+		t.Fatal("final state diverged from clean replay")
+	}
+	if row.Errors != 0 {
+		t.Fatalf("%d errors under streaming load", row.Errors)
+	}
+	if row.FinalEpoch != 48 {
+		t.Fatalf("final epoch %d, want 48", row.FinalEpoch)
+	}
+}

@@ -16,6 +16,10 @@
 #                experiment package tests plus a full smoke-spec run
 #                (every cell output-validated, CV-gated) into a
 #                throwaway bundle directory.
+#   --stream     additionally mirror CI's streaming gate: delta log and
+#                incremental-vs-full equivalence under the race
+#                detector, the read/write-mix sweep, and the 3-seed
+#                chaos leg (byte-identical MATCH required throughout).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,6 +29,7 @@ run_partition=0
 run_gap=0
 run_serve=0
 run_experiment=0
+run_stream=0
 for arg in "$@"; do
     case "$arg" in
     --chaos) run_chaos=1 ;;
@@ -32,8 +37,9 @@ for arg in "$@"; do
     --gap) run_gap=1 ;;
     --serve) run_serve=1 ;;
     --experiment) run_experiment=1 ;;
+    --stream) run_stream=1 ;;
     *)
-        echo "usage: $0 [--chaos] [--partition] [--gap] [--serve] [--experiment]" >&2
+        echo "usage: $0 [--chaos] [--partition] [--gap] [--serve] [--experiment] [--stream]" >&2
         exit 2
         ;;
     esac
@@ -73,10 +79,10 @@ go test -race -short \
     ./internal/graph/... \
     ./internal/obs/...
 
-echo "== fuzz seed smoke (graph text reader + partitioners)"
+echo "== fuzz seed smoke (graph text reader + partitioners + delta log)"
 # Run every checked-in fuzz seed (plus any locally grown corpus)
 # through the fuzz targets once, without fuzzing for new inputs.
-go test -run 'Fuzz' ./internal/graph/ ./internal/partition/
+go test -run 'Fuzz' ./internal/graph/ ./internal/partition/ ./internal/evolve/
 
 if [ "$run_chaos" = 1 ]; then
     echo "== chaos smoke (one seeded fault plan per engine)"
@@ -116,6 +122,18 @@ if [ "$run_serve" = 1 ]; then
     go test -race ./internal/serve/
     go test -run 'TestBatchSpeedupGate' .
     go run ./cmd/graphbench loadtest -users 200 -duration 2s -arrival poisson
+fi
+
+if [ "$run_stream" = 1 ]; then
+    echo "== streaming gate (delta log + incremental equivalence under -race, sweep + chaos legs)"
+    go test -race ./internal/evolve/
+    go test -race -run 'Incremental|DeltaPageRank' ./internal/algo/
+    go test -race -run 'UpdateStream|EvolvedSnapshotKey' ./internal/datagen/
+    go test -race -run 'Mutate|Overlay|StaleBatcher|RunStream|StreamLoadSmoke' ./internal/serve/
+    go run ./cmd/graphbench stream \
+        -users 64 -ops 32 -batches 64 -batch-size 8 -mix 90/10,70/30,50/50
+    go run ./cmd/graphbench stream -chaos -chaos-seeds 1,2,3 \
+        -batches 64 -batch-size 8
 fi
 
 if [ "$run_experiment" = 1 ]; then
